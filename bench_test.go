@@ -1,0 +1,292 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 5) at reduced scale, plus micro-benchmarks of the substrates.
+// The experiment-to-bench mapping lives in DESIGN.md §5; the cmd/rmbench
+// binary runs the same drivers with full grids and configurable scale.
+package repro
+
+import (
+	"fmt"
+	"repro/internal/im"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/incentive"
+	"repro/internal/rrset"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// benchParams keeps each driver invocation in the hundreds-of-milliseconds
+// range so the full bench suite completes on a laptop.
+func benchParams() eval.Params {
+	return eval.Params{
+		Scale:         gen.ScaleTiny,
+		Seed:          1,
+		H:             4,
+		Epsilon:       0.3,
+		MaxThetaPerAd: 30000,
+		MCEvalRuns:    300,
+		SingletonRuns: 100,
+		Workers:       2,
+		AlphaPoints:   2,
+	}
+}
+
+// ---- Table 1 ---------------------------------------------------------------
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.DatasetStats(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table 2 ---------------------------------------------------------------
+
+func BenchmarkTable2BudgetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.BudgetStats(benchParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table 3 ---------------------------------------------------------------
+
+func BenchmarkTable3Memory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := eval.ScalabilityAdvertisers("dblp", []int{1, 2}, 10_000, benchParams(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eval.MemoryTable(points)
+	}
+}
+
+// ---- Figure 1 --------------------------------------------------------------
+
+func BenchmarkFig1Tightness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig1Report(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures 2 and 3 -------------------------------------------------------
+
+func BenchmarkFig2RevenueVsAlpha(b *testing.B) {
+	params := benchParams()
+	for i := 0; i < b.N; i++ {
+		cells, err := eval.QualitySweep(
+			[]string{"epinions"},
+			[]incentive.Kind{incentive.Linear},
+			eval.PaperAlgorithms(),
+			params, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eval.RevenueVsAlphaTable(cells, eval.PaperAlgorithms())
+	}
+}
+
+func BenchmarkFig3SeedCostVsAlpha(b *testing.B) {
+	params := benchParams()
+	for i := 0; i < b.N; i++ {
+		cells, err := eval.QualitySweep(
+			[]string{"epinions"},
+			[]incentive.Kind{incentive.Superlinear},
+			eval.PaperAlgorithms(),
+			params, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eval.SeedCostVsAlphaTable(cells, eval.PaperAlgorithms())
+	}
+}
+
+// ---- Figure 4 --------------------------------------------------------------
+
+func BenchmarkFig4WindowTradeoff(b *testing.B) {
+	params := benchParams()
+	for i := 0; i < b.N; i++ {
+		points, err := eval.WindowTradeoff("epinions", []float64{0.2}, []int{1, 16, 0}, params, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eval.WindowTradeoffTable(points)
+	}
+}
+
+// ---- Figure 5 --------------------------------------------------------------
+
+func BenchmarkFig5RuntimeVsAdvertisers(b *testing.B) {
+	params := benchParams()
+	for i := 0; i < b.N; i++ {
+		points, err := eval.ScalabilityAdvertisers("dblp", []int{1, 2, 4}, 10_000, params, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eval.RuntimeTable(points, "advertisers")
+	}
+}
+
+func BenchmarkFig5RuntimeVsBudget(b *testing.B) {
+	params := benchParams()
+	for i := 0; i < b.N; i++ {
+		points, err := eval.ScalabilityBudget("dblp", []float64{5_000, 10_000}, params, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eval.RuntimeTable(points, "budget")
+	}
+}
+
+// ---- Ablations (design-choice benches called out in DESIGN.md) -------------
+
+// BenchmarkAblationCompetition measures the cost of scoring allocations
+// under the hard-competition propagation model (future-work item iii).
+func BenchmarkAblationCompetition(b *testing.B) {
+	params := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.CompetitionAblation("epinions", 0.3, params, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSharing measures the memory/time effect of sharing RR
+// universes across pure-competition ads (future-work item i).
+func BenchmarkAblationSharing(b *testing.B) {
+	params := benchParams()
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.SharingAblation("epinions", []int{2, 4}, params, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationWindow compares TI-CSRM selection cost across window
+// sizes (the Figure 4 design knob) on a single problem instance.
+func BenchmarkAblationWindow(b *testing.B) {
+	rng := xrand.New(8)
+	g := gen.RMAT(2048, 16384, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	h := 4
+	ads := topic.CompetingAds(h, 1, rng)
+	topic.UniformBudgets(ads, 100, 1)
+	sigma := incentive.SingletonsOutDegree(g)
+	incs := make([]*incentive.Table, h)
+	for i := range incs {
+		incs[i] = incentive.Build(incentive.Linear, 0.2, sigma)
+	}
+	p := &core.Problem{Graph: g, Model: model, Ads: ads, Incentives: incs}
+	for _, w := range []int{1, 64, 0} {
+		name := "w=full"
+		if w > 0 {
+			name = "w=" + itoa(w)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.TICSRM(p, core.Options{
+					Epsilon: 0.3, Seed: 9, Window: w, MaxThetaPerAd: 20000,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	return fmt.Sprintf("%d", v)
+}
+
+// ---- Substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkRRSetSampling(b *testing.B) {
+	rng := xrand.New(2)
+	g := gen.RMAT(4096, 32768, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	s := rrset.NewSampler(g, model.EdgeProbs(topic.Distribution{1}), rng.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample()
+	}
+}
+
+func BenchmarkCascadeSimulation(b *testing.B) {
+	rng := xrand.New(3)
+	g := gen.RMAT(4096, 32768, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	sim := cascade.NewSimulator(g, model.EdgeProbs(topic.Distribution{1}))
+	seeds := []int32{0, 1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunOnce(seeds, rng)
+	}
+}
+
+func BenchmarkEngineTICSRM(b *testing.B) {
+	rng := xrand.New(4)
+	g := gen.RMAT(2048, 16384, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	h := 4
+	ads := topic.CompetingAds(h, 1, rng)
+	topic.UniformBudgets(ads, 100, 1)
+	sigma := incentive.SingletonsOutDegree(g)
+	incs := make([]*incentive.Table, h)
+	for i := range incs {
+		incs[i] = incentive.Build(incentive.Linear, 0.2, sigma)
+	}
+	p := &core.Problem{Graph: g, Model: model, Ads: ads, Incentives: incs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.TICSRM(p, core.Options{
+			Epsilon: 0.3, Seed: uint64(i), MaxThetaPerAd: 20000,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphBuild(b *testing.B) {
+	rng := xrand.New(5)
+	for i := 0; i < b.N; i++ {
+		gen.RMAT(8192, 65536, gen.DefaultRMAT, rng)
+	}
+}
+
+// BenchmarkIMAlgorithms compares the standalone IM substrate's algorithms
+// on one instance (k = 10 seeds, WC model).
+func BenchmarkIMAlgorithms(b *testing.B) {
+	rng := xrand.New(6)
+	g := gen.RMAT(4096, 32768, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	probs := model.EdgeProbs(topic.Distribution{1})
+	const k = 10
+	b.Run("TIM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			im.TIM(g, probs, k, im.TIMOptions{Epsilon: 0.3, MaxTheta: 100000}, xrand.New(uint64(i)))
+		}
+	})
+	b.Run("IMM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			im.IMM(g, probs, k, im.TIMOptions{Epsilon: 0.3, MaxTheta: 100000}, xrand.New(uint64(i)))
+		}
+	})
+	b.Run("GreedyMC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			im.GreedyMC(g, probs, k, 200, 2, xrand.New(uint64(i)))
+		}
+	})
+	b.Run("SingleDiscount", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			im.SingleDiscount(g, k)
+		}
+	})
+}

@@ -1,0 +1,264 @@
+// Command rmbench regenerates the paper's tables and figures.
+//
+// Each experiment ID corresponds to one artifact of the paper's evaluation
+// (Section 5); DESIGN.md §5 maps IDs to workloads and modules. Examples:
+//
+//	rmbench -experiment=table1
+//	rmbench -experiment=fig2 -scale=small -datasets=flixster,epinions
+//	rmbench -experiment=fig5a -scale=medium -csv=fig5a.csv
+//	rmbench -experiment=all -scale=tiny
+//
+// Scale "full" reproduces the paper's dataset sizes (hours of runtime and
+// tens of GB of memory, as in the paper); "small" (default) is 1/16 size.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/incentive"
+)
+
+var (
+	experiment = flag.String("experiment", "all", "experiment ID: table1|table2|table3|fig1|fig2|fig3|fig4|fig5a|fig5b|fig5c|fig5d|all")
+	scaleFlag  = flag.String("scale", "small", "dataset scale: tiny|small|medium|full")
+	seed       = flag.Uint64("seed", 1, "random seed")
+	hFlag      = flag.Int("h", 10, "number of advertisers (quality experiments)")
+	epsFlag    = flag.Float64("eps", 0, "estimation accuracy ε (0 = per-experiment default: 0.1 quality, 0.3 scalability)")
+	alphaPts   = flag.Int("alphas", 5, "number of α grid points (figures 2-3)")
+	datasets   = flag.String("datasets", "flixster,epinions", "quality datasets (comma separated)")
+	kindsFlag  = flag.String("kinds", "linear,constant,sublinear,superlinear", "incentive models for fig2/fig3")
+	maxTheta   = flag.Int("maxtheta", 0, "cap on RR sets per advertiser (0 = default 3M)")
+	mcEval     = flag.Int("mceval", 2000, "Monte-Carlo runs for allocation evaluation")
+	singleRuns = flag.Int("singletons", 500, "Monte-Carlo runs for singleton spreads (paper: 5000)")
+	windowsStr = flag.String("windows", "1,50,100,250,500,1000,2500,5000,0", "fig4 window sizes (0 = full)")
+	hSweepStr  = flag.String("hsweep", "1,5,10,15,20", "fig5a/b advertiser counts")
+	csvPath    = flag.String("csv", "", "also write results as CSV to this file")
+	quiet      = flag.Bool("quiet", false, "suppress progress output")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmbench:", err)
+		os.Exit(1)
+	}
+}
+
+func params() (eval.Params, error) {
+	scale, err := gen.ParseScale(*scaleFlag)
+	if err != nil {
+		return eval.Params{}, err
+	}
+	return eval.Params{
+		Scale:         scale,
+		Seed:          *seed,
+		H:             *hFlag,
+		Epsilon:       *epsFlag,
+		MaxThetaPerAd: *maxTheta,
+		MCEvalRuns:    *mcEval,
+		SingletonRuns: *singleRuns,
+		AlphaPoints:   *alphaPts,
+	}, nil
+}
+
+func progress() func(string) {
+	if *quiet {
+		return nil
+	}
+	return func(msg string) { fmt.Fprintln(os.Stderr, "  ...", msg) }
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseKinds(s string) ([]incentive.Kind, error) {
+	var out []incentive.Kind
+	for _, f := range strings.Split(s, ",") {
+		k, err := incentive.ParseKind(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+func emit(tables ...*eval.Table) error {
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, t := range tables {
+			if _, err := fmt.Fprintf(f, "# %s\n", t.Title); err != nil {
+				return err
+			}
+			if err := t.WriteCSV(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func run() error {
+	p, err := params()
+	if err != nil {
+		return err
+	}
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		// fig2+fig3 share one QualitySweep via the combined ID.
+		ids = []string{"table1", "table2", "fig1", "fig2+fig3", "fig4",
+			"fig5a", "fig5b", "fig5c", "fig5d", "table3"}
+	}
+	for _, id := range ids {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "== running %s (scale=%s) ==\n", id, p.Scale)
+		}
+		if err := runOne(id, p); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+func runOne(id string, p eval.Params) error {
+	switch id {
+	case "table1":
+		t, err := eval.DatasetStats(p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+
+	case "table2":
+		t, err := eval.BudgetStats(p)
+		if err != nil {
+			return err
+		}
+		return emit(t)
+
+	case "fig1":
+		t, err := eval.Fig1Report()
+		if err != nil {
+			return err
+		}
+		return emit(t)
+
+	case "fig2", "fig3", "fig2+fig3":
+		ds := strings.Split(*datasets, ",")
+		kinds, err := parseKinds(*kindsFlag)
+		if err != nil {
+			return err
+		}
+		cells, err := eval.QualitySweep(ds, kinds, eval.PaperAlgorithms(), p, progress())
+		if err != nil {
+			return err
+		}
+		switch id {
+		case "fig2":
+			return emit(eval.RevenueVsAlphaTable(cells, eval.PaperAlgorithms()))
+		case "fig3":
+			return emit(eval.SeedCostVsAlphaTable(cells, eval.PaperAlgorithms()))
+		}
+		return emit(eval.RevenueVsAlphaTable(cells, eval.PaperAlgorithms()),
+			eval.SeedCostVsAlphaTable(cells, eval.PaperAlgorithms()))
+
+	case "fig4":
+		windows, err := parseInts(*windowsStr)
+		if err != nil {
+			return err
+		}
+		var tables []*eval.Table
+		for _, ds := range strings.Split(*datasets, ",") {
+			points, err := eval.WindowTradeoff(ds, []float64{0.2, 0.5}, windows, p, progress())
+			if err != nil {
+				return err
+			}
+			tables = append(tables, eval.WindowTradeoffTable(points))
+		}
+		return emit(tables...)
+
+	case "fig5a", "fig5b", "table3":
+		hs, err := parseInts(*hSweepStr)
+		if err != nil {
+			return err
+		}
+		dataset, budget := "dblp", 10_000.0
+		if id == "fig5b" {
+			dataset, budget = "livejournal", 100_000.0
+		}
+		points, err := eval.ScalabilityAdvertisers(dataset, hs, budget, p, progress())
+		if err != nil {
+			return err
+		}
+		if id == "table3" {
+			// Table 3 reports both datasets; run LIVEJOURNAL too.
+			pointsLJ, err := eval.ScalabilityAdvertisers("livejournal", hs, 100_000, p, progress())
+			if err != nil {
+				return err
+			}
+			return emit(eval.MemoryTable(points), eval.MemoryTable(pointsLJ))
+		}
+		return emit(eval.RuntimeTable(points, "advertisers"))
+
+	case "fig5c", "fig5d":
+		dataset := "dblp"
+		budgets := []float64{5_000, 10_000, 15_000, 20_000, 25_000, 30_000}
+		if id == "fig5d" {
+			dataset = "livejournal"
+			budgets = []float64{50_000, 100_000, 150_000, 200_000, 250_000}
+		}
+		points, err := eval.ScalabilityBudget(dataset, budgets, p, progress())
+		if err != nil {
+			return err
+		}
+		return emit(eval.RuntimeTable(points, "budget"))
+
+	case "ablation-competition":
+		var tables []*eval.Table
+		for _, ds := range strings.Split(*datasets, ",") {
+			t, err := eval.CompetitionAblation(ds, 0.3, p, progress())
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+		}
+		return emit(tables...)
+
+	case "ablation-sharing":
+		hs, err := parseInts(*hSweepStr)
+		if err != nil {
+			return err
+		}
+		t, err := eval.SharingAblation("epinions", hs, p, progress())
+		if err != nil {
+			return err
+		}
+		return emit(t)
+	}
+	return fmt.Errorf("unknown experiment %q", id)
+}

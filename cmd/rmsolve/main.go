@@ -1,0 +1,124 @@
+// Command rmsolve solves a single revenue-maximization instance and prints
+// the allocation: which users endorse which ad, what each advertiser pays,
+// and the host's revenue.
+//
+// Examples:
+//
+//	rmsolve -dataset=flixster -scale=tiny -h=4 -alg=ti-csrm -kind=linear -alpha=0.2
+//	rmsolve -dataset=epinions -scale=small -alg=ti-carm -eps=0.3
+//	rmsolve -dataset=dblp -scale=small -alg=pagerank-rr -kind=sublinear -alpha=2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/incentive"
+)
+
+var (
+	dataset   = flag.String("dataset", "flixster", "dataset preset")
+	scaleFlag = flag.String("scale", "tiny", "dataset scale: tiny|small|medium|full")
+	hFlag     = flag.Int("h", 4, "number of advertisers")
+	algFlag   = flag.String("alg", "ti-csrm", "algorithm: ti-csrm|ti-carm|pagerank-gr|pagerank-rr")
+	kindFlag  = flag.String("kind", "linear", "incentive model: linear|constant|sublinear|superlinear")
+	alpha     = flag.Float64("alpha", 0.2, "incentive scale α (paper's full-scale value)")
+	epsFlag   = flag.Float64("eps", 0.1, "estimation accuracy ε")
+	window    = flag.Int("window", 0, "TI-CSRM window size (0 = full)")
+	seed      = flag.Uint64("seed", 1, "random seed")
+	maxTheta  = flag.Int("maxtheta", 0, "cap on RR sets per advertiser (0 = default)")
+	topSeeds  = flag.Int("top", 5, "how many seeds to list per ad")
+	outPath   = flag.String("out", "", "write the allocation as JSON to this file")
+	share     = flag.Bool("share", false, "share RR samples across ads with identical topics")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmsolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale, err := gen.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	kind, err := incentive.ParseKind(*kindFlag)
+	if err != nil {
+		return err
+	}
+	params := eval.Params{Scale: scale, Seed: *seed, H: *hFlag, Epsilon: *epsFlag,
+		Window: *window, MaxThetaPerAd: *maxTheta}
+	w, err := eval.NewWorkbench(*dataset, params)
+	if err != nil {
+		return err
+	}
+	p := w.Problem(kind, *alpha)
+	opt := core.Options{Epsilon: *epsFlag, Window: *window, Seed: *seed,
+		MaxThetaPerAd: *maxTheta, ShareSamples: *share}
+
+	var (
+		alloc *core.Allocation
+		stats *core.Stats
+	)
+	switch strings.ToLower(*algFlag) {
+	case "ti-csrm":
+		alloc, stats, err = core.TICSRM(p, opt)
+	case "ti-carm":
+		alloc, stats, err = core.TICARM(p, opt)
+	case "pagerank-gr":
+		alloc, stats, err = baseline.PageRankGR(p, opt)
+	case "pagerank-rr":
+		alloc, stats, err = baseline.PageRankRR(p, opt)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algFlag)
+	}
+	if err != nil {
+		return err
+	}
+	ev := core.EvaluateMC(p, alloc, 2000, 2, *seed^0xabcdef)
+
+	fmt.Printf("dataset=%s scale=%s nodes=%d edges=%d h=%d alg=%s kind=%s alpha=%g eps=%g\n",
+		*dataset, scale, p.Graph.NumNodes(), p.Graph.NumEdges(), *hFlag,
+		*algFlag, kind, *alpha, *epsFlag)
+	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory\n\n",
+		stats.Duration.Round(1e6), stats.TotalRRSets,
+		float64(stats.RRMemoryBytes)/(1<<20))
+
+	for i := range alloc.Seeds {
+		fmt.Printf("ad %d: budget=%.1f cpe=%.2f seeds=%d\n",
+			i, p.Ads[i].Budget, p.Ads[i].CPE, len(alloc.Seeds[i]))
+		fmt.Printf("  revenue=%.1f seed-cost=%.1f payment=%.1f (MC-evaluated)\n",
+			ev.Revenue[i], ev.SeedCost[i], ev.Payment[i])
+		show := len(alloc.Seeds[i])
+		if show > *topSeeds {
+			show = *topSeeds
+		}
+		for j := 0; j < show; j++ {
+			u := alloc.Seeds[i][j]
+			fmt.Printf("    seed %d: incentive=%.2f out-degree=%d\n",
+				u, p.Incentives[i].Cost(u), p.Graph.OutDegree(u))
+		}
+		if len(alloc.Seeds[i]) > show {
+			fmt.Printf("    ... and %d more\n", len(alloc.Seeds[i])-show)
+		}
+	}
+	fmt.Printf("\nTOTAL revenue=%.1f seed-cost=%.1f payment=%.1f seeds=%d\n",
+		ev.TotalRevenue(), ev.TotalSeedCost(),
+		ev.TotalRevenue()+ev.TotalSeedCost(), alloc.NumSeeds())
+	if *outPath != "" {
+		if err := core.SaveAllocation(*outPath, alloc); err != nil {
+			return err
+		}
+		fmt.Printf("allocation written to %s\n", *outPath)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Adaptive: the paper's future-work item (iv) — an online setting where
+// the host observes the partial results of the campaign before deciding
+// its next moves.
+//
+// The adaptive policy plans with TI-CSRM, commits only a batch of seeds,
+// watches the realized cascades (one fixed possible world), charges the
+// realized engagement costs, and re-plans with whatever budget actually
+// remains. When cascades under-perform their expectation the saved budget
+// buys more seeds; when they over-perform, spending stops early.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	w, err := repro.NewWorkbench("epinions", repro.Params{
+		Scale: repro.ScaleTiny,
+		Seed:  21,
+		H:     5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := w.Problem(repro.Linear, 0.3)
+	fmt.Printf("%d users, %d advertisers; 3 observe-then-replan rounds\n\n",
+		p.Graph.NumNodes(), len(p.Ads))
+
+	var adaptive, oneShot float64
+	const worlds = 5
+	for world := uint64(0); world < worlds; world++ {
+		res, err := repro.AdaptiveRun(p, repro.AdaptiveOptions{
+			Engine: repro.Options{
+				Epsilon:       0.2,
+				Seed:          21,
+				MaxThetaPerAd: 100000,
+			},
+			Rounds:    3,
+			WorldSeed: 500 + world,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("world %d: adaptive %7.1f (cost %6.1f)  one-shot %7.1f (cost %6.1f)\n",
+			world, res.AdaptiveRevenue, res.AdaptiveSeedCost,
+			res.OneShotRevenue, res.OneShotSeedCost)
+		adaptive += res.AdaptiveRevenue
+		oneShot += res.OneShotRevenue
+	}
+	fmt.Printf("\nmean realized revenue: adaptive %.1f vs one-shot %.1f (%+.1f%%)\n",
+		adaptive/worlds, oneShot/worlds, 100*(adaptive-oneShot)/oneShot)
+	fmt.Println("adaptivity re-invests under-performing budgets — the advantage")
+	fmt.Println("the paper anticipates for the online setting.")
+}

@@ -1,0 +1,56 @@
+// Theory: the paper's Figure 1 gadget, where the cost-agnostic greedy
+// provably achieves exactly its Theorem 2 guarantee of 1/2 — and the
+// cost-sensitive greedy finds the optimum.
+//
+// One advertiser, budget 7, cpe 1, all influence probabilities 1. The
+// influencer b has spread 3 but costs 3; the pair {a, c} also spreads 3
+// each but costs 0.5 each and covers 6 users together. CA-GREEDY grabs b
+// and gets stuck; CS-GREEDY assembles {a, c}.
+//
+//	go run ./examples/theory
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	p := repro.Fig1Instance()
+	names := map[int32]string{0: "b", 1: "a", 2: "c", 3: "x", 4: "y", 5: "z", 6: "w"}
+
+	fmt.Println("Figure 1 instance: 7 users, budget 7, cpe 1, probabilities 1")
+	for u := int32(0); u < p.Graph.NumNodes(); u++ {
+		fmt.Printf("  user %s: incentive %.1f, follows->%d\n",
+			names[u], p.Incentives[0].Cost(u), p.Graph.OutDegree(u))
+	}
+
+	// The exact spread oracle is viable here (6 arcs -> 64 possible
+	// worlds); Monte-Carlo with enough runs behaves identically.
+	oracle := repro.NewMCOracle(p, 4000, 1)
+
+	ca, err := repro.CAGreedy(p, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs, err := repro.CSGreedy(p, oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show := func(label string, a *repro.Allocation) {
+		fmt.Printf("\n%s: revenue %.1f, seeds:", label, a.TotalRevenue())
+		for _, u := range a.Seeds[0] {
+			fmt.Printf(" %s", names[u])
+		}
+		fmt.Println()
+	}
+	show("CA-GREEDY (cost-agnostic)", ca)
+	show("CS-GREEDY (cost-sensitive)", cs)
+
+	fmt.Println("\nTheorem 2 quantities: curvature κ=1, lower rank r=1, upper rank")
+	fmt.Println("R=2 give the bound (1/κ)(1-((R-κ)/R)^r) = 1/2 — and CA-GREEDY's")
+	fmt.Printf("revenue %.1f is exactly half of the optimum %.1f.\n",
+		ca.TotalRevenue(), cs.TotalRevenue())
+}

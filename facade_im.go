@@ -1,0 +1,85 @@
+package repro
+
+import (
+	"repro/internal/graph"
+	"repro/internal/im"
+	"repro/internal/learn"
+	"repro/internal/xrand"
+)
+
+// Classic influence-maximization types (the substrate the paper builds
+// on; usable standalone).
+type (
+	// IMResult reports an influence-maximization run.
+	IMResult = im.Result
+	// TIMOptions tunes the TIM algorithm.
+	TIMOptions = im.TIMOptions
+)
+
+// TIM runs Two-phase Influence Maximization (Tang et al., SIGMOD 2014):
+// a (1 − 1/e − ε)-approximate k-seed set via RR-set sampling.
+func TIM(g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) IMResult {
+	return im.TIM(g, probs, k, opt, rng)
+}
+
+// GreedyIM runs CELF-accelerated greedy influence maximization with
+// Monte-Carlo spread estimation (Kempe et al. 2003 + Leskovec et al.
+// 2007).
+func GreedyIM(g *Graph, probs []float32, k, runs, workers int, rng *RNG) IMResult {
+	return im.GreedyMC(g, probs, k, runs, workers, rng)
+}
+
+// IMM runs Influence Maximization via Martingales (Tang et al., SIGMOD
+// 2015) — TIM's successor with a tighter sample-size search.
+func IMM(g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) IMResult {
+	return im.IMM(g, probs, k, opt, rng)
+}
+
+// BudgetedIM solves budgeted influence maximization (linear knapsack on
+// node costs) with the max(cost-agnostic, cost-sensitive) greedy — the
+// κ_ρ = 0 special case of the paper's Theorems 2–3.
+func BudgetedIM(g *Graph, probs []float32, costs []float64, budget float64,
+	theta int, rng *RNG) IMResult {
+	return im.BudgetedGreedy(g, probs, costs, budget, theta, rng)
+}
+
+// DegreeSeeds returns the k highest out-degree nodes (baseline heuristic).
+func DegreeSeeds(g *Graph, k int) []int32 { return im.Degree(g, k) }
+
+// SingleDiscountSeeds returns k seeds by the single-discount heuristic.
+func SingleDiscountSeeds(g *Graph, k int) []int32 { return im.SingleDiscount(g, k) }
+
+// Influence-model learning types (the pipeline behind the paper's
+// MLE-learned probabilities).
+type (
+	// Episode is one observed cascade: (node, time) activations.
+	Episode = learn.Episode
+	// Activation is a single engagement event.
+	Activation = learn.Activation
+	// LearnOptions tunes the EM estimator.
+	LearnOptions = learn.Options
+)
+
+// SimulateEpisodes generates training cascades from a known IC instance.
+func SimulateEpisodes(g *Graph, probs []float32, episodes, seedsPerEpisode int, rng *RNG) []Episode {
+	return learn.SimulateEpisodes(g, probs, episodes, seedsPerEpisode, rng)
+}
+
+// EstimateIC learns IC edge probabilities from episodes via the EM
+// estimator of Saito et al. (2008).
+func EstimateIC(g *Graph, eps []Episode, opt LearnOptions) []float32 {
+	return learn.EstimateIC(g, eps, opt)
+}
+
+// CascadeLogLikelihood scores edge probabilities against observed
+// episodes (higher is better).
+func CascadeLogLikelihood(g *Graph, probs []float32, eps []Episode) float64 {
+	return learn.LogLikelihood(g, probs, eps)
+}
+
+// Compile-time checks that facade aliases stay interchangeable with their
+// internal definitions.
+var (
+	_ = func(g *graph.Graph) *Graph { return g }
+	_ = func(r *xrand.RNG) *RNG { return r }
+)

@@ -1,0 +1,238 @@
+// Package cascade implements influence propagation under the (topic-aware)
+// independent cascade model: single stochastic cascades, Monte-Carlo
+// estimation of the expected spread σ(S), and exact computation by
+// possible-world enumeration on tiny graphs (used as ground truth in
+// tests).
+//
+// A cascade is parameterized by a graph plus a slice of ad-specific arc
+// probabilities aligned with the graph's canonical edge IDs (produced by
+// topic.Model.EdgeProbs, Eq. 1 of the paper). When a node u engages with
+// the ad, it gets one chance to activate each out-neighbor v, succeeding
+// with probability p^i_{u,v}.
+package cascade
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Simulator runs independent-cascade simulations for one ad.
+type Simulator struct {
+	g     *graph.Graph
+	probs []float32
+
+	// Scratch state reused across runs (epoch trick avoids clearing).
+	visited []int64
+	epoch   int64
+	queue   []int32
+}
+
+// NewSimulator builds a Simulator for the given graph and ad-specific arc
+// probabilities (len must equal g.NumEdges()).
+func NewSimulator(g *graph.Graph, probs []float32) *Simulator {
+	if int64(len(probs)) != g.NumEdges() {
+		panic(fmt.Sprintf("cascade: %d probs for %d edges", len(probs), g.NumEdges()))
+	}
+	return &Simulator{
+		g:       g,
+		probs:   probs,
+		visited: make([]int64, g.NumNodes()),
+		queue:   make([]int32, 0, 256),
+	}
+}
+
+// Graph returns the simulator's graph.
+func (s *Simulator) Graph() *graph.Graph { return s.g }
+
+// RunOnce simulates a single cascade from seeds and returns the number of
+// activated nodes (seeds included; duplicate seeds count once). Not safe
+// for concurrent use — clone simulators per goroutine.
+func (s *Simulator) RunOnce(seeds []int32, rng *xrand.RNG) int {
+	s.epoch++
+	q := s.queue[:0]
+	activated := 0
+	for _, u := range seeds {
+		if s.visited[u] == s.epoch {
+			continue
+		}
+		s.visited[u] = s.epoch
+		q = append(q, u)
+		activated++
+	}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		lo, hi := s.g.OutEdgeRange(u)
+		nb := s.g.OutNeighbors(u)
+		for i, v := range nb {
+			if s.visited[v] == s.epoch {
+				continue
+			}
+			p := s.probs[lo+int64(i)]
+			_ = hi
+			if p > 0 && rng.Float64() < float64(p) {
+				s.visited[v] = s.epoch
+				q = append(q, v)
+				activated++
+			}
+		}
+	}
+	s.queue = q[:0]
+	return activated
+}
+
+// Spread estimates σ(seeds) as the average activated count over the given
+// number of Monte-Carlo runs.
+func (s *Simulator) Spread(seeds []int32, runs int, rng *xrand.RNG) float64 {
+	if runs <= 0 {
+		panic("cascade: Spread needs runs > 0")
+	}
+	total := 0
+	for r := 0; r < runs; r++ {
+		total += s.RunOnce(seeds, rng)
+	}
+	return float64(total) / float64(runs)
+}
+
+// SpreadParallel estimates σ(seeds) using the given number of workers, each
+// with an independent RNG split from rng. The result is deterministic for a
+// fixed (seed, workers, runs) triple because per-worker sums are combined
+// order-independently.
+func (s *Simulator) SpreadParallel(seeds []int32, runs, workers int, rng *xrand.RNG) float64 {
+	if workers <= 1 || runs < 4*workers {
+		return s.Spread(seeds, runs, rng)
+	}
+	per := runs / workers
+	extra := runs % workers
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		r := per
+		if w < extra {
+			r++
+		}
+		wrng := rng.Split()
+		sim := NewSimulator(s.g, s.probs)
+		wg.Add(1)
+		go func(w, r int, wrng *xrand.RNG, sim *Simulator) {
+			defer wg.Done()
+			var sum int64
+			for i := 0; i < r; i++ {
+				sum += int64(sim.RunOnce(seeds, wrng))
+			}
+			totals[w] = sum
+		}(w, r, wrng, sim)
+	}
+	wg.Wait()
+	var total int64
+	for _, t := range totals {
+		total += t
+	}
+	return float64(total) / float64(runs)
+}
+
+// SingletonSpreads estimates σ({u}) for every node using runs Monte-Carlo
+// simulations per node, parallelized across workers. This mirrors the
+// paper's 5K-run Monte-Carlo estimation of singleton spreads on FLIXSTER
+// and EPINIONS (used to set seed incentives).
+func SingletonSpreads(g *graph.Graph, probs []float32, runs, workers int, rng *xrand.RNG) []float64 {
+	n := int(g.NumNodes())
+	out := make([]float64, n)
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		lo, hi int
+		rng    *xrand.RNG
+	}
+	jobs := make([]job, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		jobs = append(jobs, job{lo: lo, hi: hi, rng: rng.Split()})
+	}
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		sim := NewSimulator(g, probs)
+		wg.Add(1)
+		go func(j job, sim *Simulator) {
+			defer wg.Done()
+			seed := make([]int32, 1)
+			for u := j.lo; u < j.hi; u++ {
+				seed[0] = int32(u)
+				out[u] = sim.Spread(seed, runs, j.rng)
+			}
+		}(j, sim)
+	}
+	wg.Wait()
+	return out
+}
+
+// ExactSpread computes σ(seeds) exactly by enumerating all 2^m possible
+// worlds. It panics when the graph has more than 24 arcs; it exists to
+// provide ground truth for estimator tests on tiny graphs.
+func ExactSpread(g *graph.Graph, probs []float32, seeds []int32) float64 {
+	m := g.NumEdges()
+	if m > 24 {
+		panic(fmt.Sprintf("cascade: ExactSpread on %d edges would enumerate 2^%d worlds", m, m))
+	}
+	if int64(len(probs)) != m {
+		panic("cascade: probs length mismatch")
+	}
+	n := g.NumNodes()
+	visited := make([]bool, n)
+	queue := make([]int32, 0, n)
+	var expected float64
+	for world := int64(0); world < int64(1)<<m; world++ {
+		// Probability of this world.
+		wp := 1.0
+		for e := int64(0); e < m; e++ {
+			p := float64(probs[e])
+			if world&(1<<e) != 0 {
+				wp *= p
+			} else {
+				wp *= 1 - p
+			}
+			if wp == 0 {
+				break
+			}
+		}
+		if wp == 0 {
+			continue
+		}
+		// BFS over live edges.
+		for i := range visited {
+			visited[i] = false
+		}
+		q := queue[:0]
+		count := 0
+		for _, s := range seeds {
+			if !visited[s] {
+				visited[s] = true
+				q = append(q, s)
+				count++
+			}
+		}
+		for len(q) > 0 {
+			u := q[0]
+			q = q[1:]
+			lo, _ := g.OutEdgeRange(u)
+			for i, v := range g.OutNeighbors(u) {
+				e := lo + int64(i)
+				if world&(1<<e) != 0 && !visited[v] {
+					visited[v] = true
+					q = append(q, v)
+					count++
+				}
+			}
+		}
+		expected += wp * float64(count)
+	}
+	return expected
+}

@@ -1,0 +1,74 @@
+package cascade
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// World is a single realization of an independent-cascade instance: every
+// arc's coin is flipped once (the classic live-edge possible world), and
+// activation spreads deterministically through live arcs. Worlds back the
+// adaptive-seeding setting (the paper's future-work item (iv)), where the
+// host observes the *realized* outcome of committed seeds before deciding
+// its next move.
+type World struct {
+	g         *graph.Graph
+	live      []bool
+	activated []bool
+	count     int
+}
+
+// NewWorld flips each arc's coin with the ad-specific probability and
+// returns the realized world.
+func NewWorld(g *graph.Graph, probs []float32, rng *xrand.RNG) *World {
+	if int64(len(probs)) != g.NumEdges() {
+		panic(fmt.Sprintf("cascade: %d probs for %d edges", len(probs), g.NumEdges()))
+	}
+	live := make([]bool, g.NumEdges())
+	for e := range live {
+		p := probs[e]
+		live[e] = p > 0 && rng.Float64() < float64(p)
+	}
+	return &World{g: g, live: live, activated: make([]bool, g.NumNodes())}
+}
+
+// Activate seeds the given nodes and propagates through live arcs,
+// returning the number of *newly* activated nodes (previously activated
+// nodes and duplicate seeds are not recounted). Activation accumulates
+// across calls: activating {a} then {b} reaches exactly the nodes that
+// activating {a, b} at once would.
+func (w *World) Activate(seeds []int32) int {
+	var queue []int32
+	newly := 0
+	for _, u := range seeds {
+		if w.activated[u] {
+			continue
+		}
+		w.activated[u] = true
+		newly++
+		queue = append(queue, u)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		lo, _ := w.g.OutEdgeRange(u)
+		for i, v := range w.g.OutNeighbors(u) {
+			if !w.live[lo+int64(i)] || w.activated[v] {
+				continue
+			}
+			w.activated[v] = true
+			newly++
+			queue = append(queue, v)
+		}
+	}
+	w.count += newly
+	return newly
+}
+
+// NumActivated returns the total number of activated nodes so far.
+func (w *World) NumActivated() int { return w.count }
+
+// Activated reports whether node u has been activated.
+func (w *World) Activated(u int32) bool { return w.activated[u] }

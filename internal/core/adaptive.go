@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cascade"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// AdaptiveOptions configures the adaptive allocation loop of the paper's
+// future-work item (iv): "an online adaptive setting where the partial
+// results of the campaign can be taken into account while deciding the
+// next moves".
+type AdaptiveOptions struct {
+	// Engine holds the per-round engine configuration (mode, ε, window,
+	// caps). The engine seed is varied per round.
+	Engine Options
+	// Rounds is the number of observe-then-replan rounds (default 4).
+	Rounds int
+	// WorldSeed drives the single ground-truth realization that both the
+	// adaptive and the one-shot policies are scored on.
+	WorldSeed uint64
+}
+
+// AdaptiveRound records one observe-then-replan step.
+type AdaptiveRound struct {
+	// Committed[i] is the number of seeds committed for ad i this round.
+	Committed []int
+	// Realized[i] is the number of newly engaged users of ad i after the
+	// committed seeds' cascades played out.
+	Realized []int
+}
+
+// AdaptiveResult compares the adaptive policy against the one-shot
+// allocation in the same realized world.
+type AdaptiveResult struct {
+	// Rounds traces the adaptive run.
+	Rounds []AdaptiveRound
+	// AdaptiveSeeds[i] is ad i's final seed set under the adaptive policy.
+	AdaptiveSeeds [][]int32
+	// AdaptiveRevenue is the realized revenue Σ_i cpe(i)·(engagements of
+	// ad i) of the adaptive policy.
+	AdaptiveRevenue float64
+	// AdaptiveSeedCost is the total incentives the adaptive policy paid.
+	AdaptiveSeedCost float64
+	// OneShotRevenue is the realized revenue of the non-adaptive
+	// allocation (the plain engine run committed all at once) in the SAME
+	// world.
+	OneShotRevenue float64
+	// OneShotSeedCost is the total incentives of the one-shot allocation.
+	OneShotSeedCost float64
+}
+
+// AdaptiveRun executes the adaptive seeding policy: in each round the
+// engine re-plans with every advertiser's *remaining* budget (expected
+// payments minus what the realized campaign has actually consumed) and
+// the already-engaged users excluded from the candidate pool; a batch of
+// the newly planned seeds is committed; the committed seeds' cascades are
+// realized in a fixed possible world; and the realized engagement costs
+// are charged. The one-shot engine allocation is realized in the same
+// world for comparison.
+//
+// Observing realizations lets the adaptive policy reinvest when cascades
+// under-perform their expectation and stop spending when they
+// over-perform — the advantage the paper anticipates for the online
+// setting.
+func AdaptiveRun(p *Problem, opt AdaptiveOptions) (*AdaptiveResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Rounds == 0 {
+		opt.Rounds = 4
+	}
+	if opt.Rounds < 1 {
+		return nil, fmt.Errorf("core: AdaptiveRun needs at least one round")
+	}
+	h := p.NumAds()
+	wrng := xrand.New(opt.WorldSeed)
+	worlds := make([]*cascade.World, h)
+	for i := 0; i < h; i++ {
+		worlds[i] = cascade.NewWorld(p.Graph, p.EdgeProbs(i), wrng.Split())
+	}
+
+	// One-shot reference: plan once with full budgets, realize everything
+	// in an identical copy of the worlds.
+	oneShot, _, err := Run(p, opt.Engine)
+	if err != nil {
+		return nil, err
+	}
+	res := &AdaptiveResult{AdaptiveSeeds: make([][]int32, h)}
+	refRng := xrand.New(opt.WorldSeed)
+	for i := 0; i < h; i++ {
+		refWorld := cascade.NewWorld(p.Graph, p.EdgeProbs(i), refRng.Split())
+		engaged := refWorld.Activate(oneShot.Seeds[i])
+		res.OneShotRevenue += p.Ads[i].CPE * float64(engaged)
+		res.OneShotSeedCost += p.Incentives[i].TotalCost(oneShot.Seeds[i])
+	}
+
+	// Adaptive loop state.
+	spent := make([]float64, h) // realized payments so far
+	committed := make([][]int32, h)
+	var forbidden []int32 // committed seeds: globally unavailable (matroid)
+
+	for round := 0; round < opt.Rounds; round++ {
+		// Re-plan with remaining budgets. Committed seeds are globally
+		// unavailable; users already engaged with ad i are excluded from
+		// ad i's pool only (seeding them buys no new engagements), but
+		// remain valid seeds for other ads under independent propagation.
+		ads := make([]topic.Ad, h)
+		copy(ads, p.Ads)
+		active := false
+		for i := range ads {
+			rem := ads[i].Budget - spent[i]
+			if rem <= 0 {
+				rem = 1e-9 // keep the instance valid; no seed will fit
+			} else {
+				active = true
+			}
+			ads[i].Budget = rem
+		}
+		if !active {
+			break
+		}
+		excluded := make([][]int32, h)
+		for i := 0; i < h; i++ {
+			for u := int32(0); u < p.Graph.NumNodes(); u++ {
+				if worlds[i].Activated(u) {
+					excluded[i] = append(excluded[i], u)
+				}
+			}
+		}
+		sub := &Problem{Graph: p.Graph, Model: p.Model, Ads: ads, Incentives: p.Incentives}
+		eng := opt.Engine
+		eng.Seed = opt.Engine.Seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15
+		eng.ForbiddenNodes = forbidden
+		eng.ExcludedNodes = excluded
+		plan, _, err := Run(sub, eng)
+		if err != nil {
+			return nil, err
+		}
+
+		// Commit a 1/(rounds−round) fraction of each plan (all of it in
+		// the final round), then realize and charge.
+		roundRec := AdaptiveRound{Committed: make([]int, h), Realized: make([]int, h)}
+		progressed := false
+		for i := 0; i < h; i++ {
+			planned := plan.Seeds[i]
+			if len(planned) == 0 {
+				continue
+			}
+			take := int(math.Ceil(float64(len(planned)) / float64(opt.Rounds-round)))
+			batch := planned[:take]
+			committed[i] = append(committed[i], batch...)
+			forbidden = append(forbidden, batch...)
+			newly := worlds[i].Activate(batch)
+			spent[i] += p.Ads[i].CPE*float64(newly) + p.Incentives[i].TotalCost(batch)
+			roundRec.Committed[i] = len(batch)
+			roundRec.Realized[i] = newly
+			progressed = true
+		}
+		res.Rounds = append(res.Rounds, roundRec)
+		if !progressed {
+			break
+		}
+	}
+
+	for i := 0; i < h; i++ {
+		res.AdaptiveSeeds[i] = committed[i]
+		res.AdaptiveRevenue += p.Ads[i].CPE * float64(worlds[i].NumActivated())
+		res.AdaptiveSeedCost += p.Incentives[i].TotalCost(committed[i])
+	}
+	return res, nil
+}

@@ -1,0 +1,692 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/rrset"
+	"repro/internal/xrand"
+)
+
+// Mode selects the candidate-selection rule of the scalable engine.
+type Mode int
+
+const (
+	// ModeCostAgnostic is TI-CARM: candidates by maximum marginal
+	// coverage (Algorithm 4), cross-ad choice by maximum marginal revenue.
+	ModeCostAgnostic Mode = iota
+	// ModeCostSensitive is TI-CSRM: candidates by maximum coverage-to-cost
+	// ratio (Algorithm 5), cross-ad choice by maximum marginal revenue per
+	// marginal payment. Options.Window restricts the candidate search to
+	// the w nodes with the highest marginal coverage (Figure 4).
+	ModeCostSensitive
+	// ModePRGreedy is the PageRank-GR baseline: candidates by ad-specific
+	// PageRank order, cross-ad choice by maximum marginal revenue.
+	ModePRGreedy
+	// ModePRRoundRobin is the PageRank-RR baseline: candidates by
+	// ad-specific PageRank order, ads served in round-robin order.
+	ModePRRoundRobin
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCostAgnostic:
+		return "TI-CARM"
+	case ModeCostSensitive:
+		return "TI-CSRM"
+	case ModePRGreedy:
+		return "PageRank-GR"
+	case ModePRRoundRobin:
+		return "PageRank-RR"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Options configures the scalable engine.
+type Options struct {
+	Mode Mode
+	// Epsilon is the estimation accuracy ε of Eq. 8/9 (paper: 0.1 for
+	// quality runs, 0.3 for scalability runs). Default 0.1.
+	Epsilon float64
+	// Ell is the confidence exponent ℓ (failure probability n^−ℓ).
+	// Default 1.
+	Ell float64
+	// Window is TI-CSRM's window size w: the candidate search per ad is
+	// restricted to the w unassigned nodes with the highest marginal
+	// coverage. 0 means the full window (w = n). TI-CARM corresponds to
+	// w = 1, as the paper notes.
+	Window int
+	// Seed drives all sampling; fixed seeds give deterministic runs.
+	Seed uint64
+	// MaxThetaPerAd caps the RR sets sampled per advertiser, bounding
+	// memory on small machines. 0 means the default (3,000,000).
+	MaxThetaPerAd int
+	// PRScores supplies per-ad node scores for the PageRank modes
+	// (PRScores[i][u] ranks node u for ad i).
+	PRScores [][]float64
+	// ShareSamples makes ads with identical topic distributions share one
+	// RR-set universe (their RR-set distributions coincide), keeping only
+	// per-ad coverage state private. This addresses the paper's
+	// future-work item (i) — memory efficiency of TI-CSRM — and is exact:
+	// the shared sets are i.i.d. draws from each sharing ad's RR
+	// distribution, so every estimate retains its Eq. 9 guarantee (the
+	// shared θ is the maximum of the members' requirements).
+	ShareSamples bool
+	// ForbiddenNodes are globally unavailable as seeds for every ad (used
+	// by the adaptive setting for already-committed seeds).
+	ForbiddenNodes []int32
+	// ExcludedNodes[i] lists nodes unavailable for ad i only (used by the
+	// adaptive setting for users already engaged with ad i). nil means no
+	// per-ad exclusions.
+	ExcludedNodes [][]int32
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Epsilon == 0 {
+		out.Epsilon = 0.1
+	}
+	if out.Ell == 0 {
+		out.Ell = 1
+	}
+	if out.MaxThetaPerAd == 0 {
+		out.MaxThetaPerAd = 3_000_000
+	}
+	return out
+}
+
+// Stats reports the engine's work for the scalability experiments
+// (Figure 5, Table 3).
+type Stats struct {
+	Mode          Mode
+	Duration      time.Duration
+	Theta         []int     // final RR sample size per ad
+	Kpt           []float64 // final KPT estimate per ad
+	SeedCounts    []int
+	GrowthEvents  int
+	PrunedPairs   int64
+	TotalRRSets   int64
+	RRMemoryBytes int64 // final footprint of all collections
+}
+
+// TICARM runs the scalable cost-agnostic algorithm.
+func TICARM(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	opt.Mode = ModeCostAgnostic
+	return Run(p, opt)
+}
+
+// TICSRM runs the scalable cost-sensitive algorithm.
+func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	opt.Mode = ModeCostSensitive
+	return Run(p, opt)
+}
+
+// adGroup is a set of advertisers with identical topic distributions
+// sharing one RR-set universe (Options.ShareSamples).
+type adGroup struct {
+	universe *rrset.Universe
+	sampler  *rrset.Sampler
+	kptSrc   *rrset.Sampler
+	kpt      float64
+	kptAtS   int
+	members  []*adState
+}
+
+// adState is the engine's per-advertiser working state.
+type adState struct {
+	idx     int
+	cpe     float64
+	budget  float64
+	coll    rrset.CoverageState
+	excl    *rrset.Collection // non-nil iff exclusive (coll == excl)
+	view    *rrset.View       // non-nil iff sharing (coll == view)
+	group   *adGroup          // non-nil iff sharing
+	sampler *rrset.Sampler    // exclusive mode only
+	kptSrc  *rrset.Sampler    // exclusive mode only
+	heap    candHeap
+	pruned  []bool // (node, ad) pairs removed from the ground set
+
+	s      int // latent seed-set size estimate s̃_i
+	theta  int
+	kpt    float64
+	kptAtS int
+
+	seeds []int32
+	pi    float64 // π_i(S_i) estimate: cpe · n · covered/θ
+	cost  float64 // c_i(S_i)
+
+	active bool
+	// Cached candidate from the last selection; node < 0 when invalid.
+	cand candidate
+}
+
+// candidate is one advertiser's proposed (node, gain) for the current
+// round.
+type candidate struct {
+	node  int32
+	mpi   float64 // π_i(u | S_i)
+	mrho  float64 // ρ_i(u | S_i)
+	ratio float64 // mpi / mrho
+	valid bool
+}
+
+func (a *adState) payment() float64 { return a.pi + a.cost }
+
+// engine bundles the problem, options and global state.
+type engine struct {
+	p        *Problem
+	opt      Options
+	n        int32
+	m        int64
+	ads      []*adState
+	groups   []*adGroup // non-empty only with Options.ShareSamples
+	assigned []bool
+	stats    *Stats
+}
+
+// Run executes the scalable engine in the configured mode and returns the
+// allocation, run statistics, and any validation error.
+func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	opt = opt.withDefaults()
+	if (opt.Mode == ModePRGreedy || opt.Mode == ModePRRoundRobin) &&
+		len(opt.PRScores) != p.NumAds() {
+		return nil, nil, fmt.Errorf("core: PageRank mode needs PRScores for all %d ads", p.NumAds())
+	}
+	start := time.Now()
+	e := &engine{
+		p:        p,
+		opt:      opt,
+		n:        p.Graph.NumNodes(),
+		m:        p.Graph.NumEdges(),
+		assigned: make([]bool, p.Graph.NumNodes()),
+		stats: &Stats{
+			Mode:       opt.Mode,
+			Theta:      make([]int, p.NumAds()),
+			Kpt:        make([]float64, p.NumAds()),
+			SeedCounts: make([]int, p.NumAds()),
+		},
+	}
+	if opt.ExcludedNodes != nil && len(opt.ExcludedNodes) != p.NumAds() {
+		return nil, nil, fmt.Errorf("core: ExcludedNodes has %d entries for %d ads",
+			len(opt.ExcludedNodes), p.NumAds())
+	}
+	for _, v := range opt.ForbiddenNodes {
+		e.assigned[v] = true
+	}
+	rng := xrand.New(opt.Seed)
+	if opt.ShareSamples {
+		// Group advertisers by topic distribution; members of a group
+		// draw from the same RR-set distribution and share a universe.
+		byGamma := map[string]*adGroup{}
+		for i := 0; i < p.NumAds(); i++ {
+			key := fmt.Sprintf("%v", p.Ads[i].Gamma)
+			g, ok := byGamma[key]
+			if !ok {
+				probs := p.EdgeProbs(i)
+				g = &adGroup{
+					universe: rrset.NewUniverse(e.n),
+					sampler:  rrset.NewSampler(p.Graph, probs, rng.Split()),
+					kptSrc:   rrset.NewSampler(p.Graph, probs, rng.Split()),
+					kptAtS:   1,
+				}
+				g.kpt = rrset.KptEstimate(g.kptSrc, e.m, int64(e.n), 1, opt.Ell)
+				byGamma[key] = g
+				e.groups = append(e.groups, g)
+			}
+			e.ads = append(e.ads, e.initSharedAd(i, g))
+		}
+	} else {
+		// Exclusive-sample initialization (KPT estimation plus the initial
+		// θ-sized RR sample per ad) dominates startup cost and touches no
+		// shared mutable state, so it runs concurrently. RNG streams are
+		// pre-split in ad order, keeping runs deterministic regardless of
+		// goroutine scheduling.
+		e.ads = make([]*adState, p.NumAds())
+		rngs := make([]*xrand.RNG, p.NumAds())
+		for i := range rngs {
+			rngs[i] = rng.Split()
+		}
+		var wg sync.WaitGroup
+		for i := range e.ads {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				e.ads[i] = e.initAd(i, rngs[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	if opt.Mode == ModePRRoundRobin {
+		e.runRoundRobin()
+	} else {
+		e.runGreedy()
+	}
+
+	alloc := NewAllocation(p.NumAds())
+	for i, ad := range e.ads {
+		alloc.Seeds[i] = ad.seeds
+		alloc.Revenue[i] = ad.pi
+		alloc.SeedCost[i] = ad.cost
+		alloc.Payment[i] = ad.payment()
+		e.stats.Theta[i] = ad.theta
+		e.stats.Kpt[i] = ad.kpt
+		e.stats.SeedCounts[i] = len(ad.seeds)
+		e.stats.RRMemoryBytes += ad.coll.MemoryFootprint()
+		if ad.group == nil {
+			e.stats.TotalRRSets += int64(ad.coll.Size())
+		}
+	}
+	for _, g := range e.groups {
+		e.stats.RRMemoryBytes += g.universe.MemoryFootprint()
+		e.stats.TotalRRSets += int64(g.universe.Size())
+	}
+	e.stats.Duration = time.Since(start)
+	// Admission-time feasibility was enforced with current estimates;
+	// growth-time revisions can shift payments within the ±ε estimation
+	// accuracy, so validate with ε slack.
+	if err := alloc.ValidateSlack(p, opt.Epsilon); err != nil {
+		return nil, nil, fmt.Errorf("core: engine produced invalid allocation: %w", err)
+	}
+	return alloc, e.stats, nil
+}
+
+// initAd sets up one advertiser with exclusive storage: ad-specific
+// probabilities, the initial KPT estimate at s=1, the initial RR sample
+// of size L(1, ε), and the candidate heap (Algorithm 2 lines 1–4).
+func (e *engine) initAd(i int, rng *xrand.RNG) *adState {
+	probs := e.p.EdgeProbs(i)
+	coll := rrset.NewCollection(e.n)
+	ad := &adState{
+		idx:     i,
+		cpe:     e.p.Ads[i].CPE,
+		budget:  e.p.Ads[i].Budget,
+		coll:    coll,
+		excl:    coll,
+		sampler: rrset.NewSampler(e.p.Graph, probs, rng.Split()),
+		kptSrc:  rrset.NewSampler(e.p.Graph, probs, rng.Split()),
+		pruned:  make([]bool, e.n),
+		s:       1,
+		kptAtS:  1,
+		active:  true,
+	}
+	ad.kpt = rrset.KptEstimate(ad.kptSrc, e.m, int64(e.n), 1, e.opt.Ell)
+	ad.theta = e.thetaFor(ad, 1)
+	coll.AddFrom(ad.sampler, ad.theta)
+	e.applyExclusions(ad)
+	e.rebuildHeap(ad)
+	return ad
+}
+
+// applyExclusions prunes the per-ad excluded nodes from the advertiser's
+// ground set before the first candidate heap is built.
+func (e *engine) applyExclusions(ad *adState) {
+	if e.opt.ExcludedNodes == nil {
+		return
+	}
+	for _, v := range e.opt.ExcludedNodes[ad.idx] {
+		ad.pruned[v] = true
+	}
+}
+
+// initSharedAd sets up one advertiser as a member of a sample-sharing
+// group: the universe is extended to the member's L(1, ε) requirement and
+// the member receives a private coverage view over it.
+func (e *engine) initSharedAd(i int, g *adGroup) *adState {
+	ad := &adState{
+		idx:    i,
+		cpe:    e.p.Ads[i].CPE,
+		budget: e.p.Ads[i].Budget,
+		group:  g,
+		pruned: make([]bool, e.n),
+		s:      1,
+		kptAtS: 1,
+		kpt:    g.kpt,
+		active: true,
+	}
+	need := e.thetaFor(ad, 1)
+	if g.universe.Size() < need {
+		g.universe.AddFrom(g.sampler, need-g.universe.Size())
+	}
+	ad.view = rrset.NewView(g.universe)
+	ad.coll = ad.view
+	ad.theta = ad.view.Size()
+	g.members = append(g.members, ad)
+	e.applyExclusions(ad)
+	e.rebuildHeap(ad)
+	return ad
+}
+
+// thetaFor computes the target sample size for seed-set size s, capped by
+// MaxThetaPerAd.
+func (e *engine) thetaFor(ad *adState, s int) int {
+	t := rrset.Threshold(int64(e.n), s, e.opt.Epsilon, e.opt.Ell, ad.kpt)
+	if t > float64(e.opt.MaxThetaPerAd) {
+		return e.opt.MaxThetaPerAd
+	}
+	if t < 1 {
+		return 1
+	}
+	return int(math.Ceil(t))
+}
+
+// heapKey computes the selection key of a node for the configured mode.
+func (e *engine) heapKey(ad *adState, v int32) float64 {
+	switch e.opt.Mode {
+	case ModeCostAgnostic:
+		return float64(ad.coll.CovCount(v))
+	case ModeCostSensitive:
+		if e.opt.Window > 0 {
+			// Windowed search pops by coverage and picks the best ratio
+			// among the top w.
+			return float64(ad.coll.CovCount(v))
+		}
+		c := e.p.Incentives[ad.idx].Cost(v)
+		if c < 1e-12 {
+			c = 1e-12
+		}
+		return float64(ad.coll.CovCount(v)) / c
+	case ModePRGreedy, ModePRRoundRobin:
+		return e.opt.PRScores[ad.idx][v]
+	}
+	panic("core: unknown mode")
+}
+
+// keyStale reports whether a heap entry's key no longer matches the
+// current state. PageRank keys are static and never stale.
+func (e *engine) keyStale(ad *adState, ent candEntry) bool {
+	if e.opt.Mode == ModePRGreedy || e.opt.Mode == ModePRRoundRobin {
+		return false
+	}
+	return ent.key != e.heapKey(ad, ent.node)
+}
+
+// rebuildHeap reconstructs the candidate heap from all unassigned,
+// unpruned nodes — needed after sample growth, when coverage counts can
+// increase and lazy revalidation would be unsound.
+func (e *engine) rebuildHeap(ad *adState) {
+	entries := make([]candEntry, 0, e.n)
+	for v := int32(0); v < e.n; v++ {
+		if e.assigned[v] || ad.pruned[v] {
+			continue
+		}
+		entries = append(entries, candEntry{node: v, key: e.heapKey(ad, v)})
+	}
+	ad.heap.Build(entries)
+	ad.cand.valid = false
+}
+
+// marginals computes (π_i(u|S_i), ρ_i(u|S_i), ratio) for node u.
+func (e *engine) marginals(ad *adState, v int32) (mpi, mrho, ratio float64) {
+	mpi = ad.cpe * float64(e.n) * float64(ad.coll.CovCount(v)) / float64(ad.theta)
+	mrho = mpi + e.p.Incentives[ad.idx].Cost(v)
+	den := mrho
+	if den < 1e-12 {
+		den = 1e-12
+	}
+	return mpi, mrho, mpi / den
+}
+
+// admissible applies the permanent ground-set pruning of Algorithm 1 line
+// 12: a candidate is dropped forever if its addition would violate the
+// advertiser's knapsack, or if its marginal coverage is zero (zero
+// estimated marginal revenue — adding it cannot increase the objective).
+func (e *engine) admissible(ad *adState, v int32) bool {
+	if ad.coll.CovCount(v) == 0 {
+		return false
+	}
+	_, mrho, _ := e.marginals(ad, v)
+	return ad.payment()+mrho <= ad.budget
+}
+
+// selectCandidate finds the advertiser's current best feasible candidate
+// (Algorithms 4 and 5), caching it until invalidated. Returns false when
+// the advertiser's ground set is exhausted.
+func (e *engine) selectCandidate(ad *adState) bool {
+	if ad.cand.valid {
+		return true
+	}
+	if e.opt.Mode == ModeCostSensitive && e.opt.Window > 0 {
+		return e.selectWindowed(ad)
+	}
+	for ad.heap.Len() > 0 {
+		top := ad.heap.Peek()
+		if e.assigned[top.node] || ad.pruned[top.node] {
+			ad.heap.Pop()
+			continue
+		}
+		if e.keyStale(ad, top) {
+			ent := ad.heap.Pop()
+			ent.key = e.heapKey(ad, ent.node)
+			ad.heap.Push(ent)
+			continue
+		}
+		if !e.admissible(ad, top.node) {
+			ad.heap.Pop()
+			ad.pruned[top.node] = true
+			e.stats.PrunedPairs++
+			continue
+		}
+		mpi, mrho, ratio := e.marginals(ad, top.node)
+		ad.cand = candidate{node: top.node, mpi: mpi, mrho: mrho, ratio: ratio, valid: true}
+		return true
+	}
+	ad.active = false
+	return false
+}
+
+// selectWindowed implements the window-restricted TI-CSRM search: pop up
+// to w fresh candidates in marginal-coverage order, choose the best
+// coverage-to-cost ratio among them, and push everything back.
+func (e *engine) selectWindowed(ad *adState) bool {
+	w := e.opt.Window
+	buf := make([]candEntry, 0, w)
+	bestIdx := -1
+	var best candidate
+	for len(buf) < w && ad.heap.Len() > 0 {
+		top := ad.heap.Pop()
+		if e.assigned[top.node] || ad.pruned[top.node] {
+			continue
+		}
+		if e.keyStale(ad, top) {
+			top.key = e.heapKey(ad, top.node)
+			ad.heap.Push(top)
+			continue
+		}
+		if !e.admissible(ad, top.node) {
+			ad.pruned[top.node] = true
+			e.stats.PrunedPairs++
+			continue
+		}
+		mpi, mrho, ratio := e.marginals(ad, top.node)
+		if bestIdx < 0 || ratio > best.ratio {
+			bestIdx = len(buf)
+			best = candidate{node: top.node, mpi: mpi, mrho: mrho, ratio: ratio, valid: true}
+		}
+		buf = append(buf, top)
+	}
+	for _, ent := range buf {
+		ad.heap.Push(ent)
+	}
+	if bestIdx < 0 {
+		if ad.heap.Len() == 0 {
+			ad.active = false
+		}
+		return false
+	}
+	ad.cand = best
+	return true
+}
+
+// assign commits the (node, advertiser) pair: Algorithm 2 lines 10–22.
+func (e *engine) assign(ad *adState, c candidate) {
+	v := c.node
+	ad.seeds = append(ad.seeds, v)
+	e.assigned[v] = true
+	ad.cost += e.p.Incentives[ad.idx].Cost(v)
+	ad.coll.CoverBy(v) // remove covered RR sets (line 14)
+	ad.pi = ad.cpe * float64(e.n) * float64(ad.coll.NumCovered()) / float64(ad.theta)
+	ad.cand.valid = false
+	// Other advertisers' cached candidates may reference the now-assigned
+	// node.
+	for _, other := range e.ads {
+		if other.cand.valid && other.cand.node == v {
+			other.cand.valid = false
+		}
+	}
+	// Latent seed-set size update (lines 17–22, Eq. 10).
+	if len(ad.seeds) >= ad.s {
+		e.grow(ad)
+	}
+}
+
+// grow revises the latent seed-set size estimate and enlarges the RR
+// sample to L(s̃, ε), re-attributing coverage of the new sets to the
+// existing seeds in insertion order (Algorithm 3).
+func (e *engine) grow(ad *adState) {
+	e.stats.GrowthEvents++
+	remaining := ad.budget - ad.payment()
+	if remaining < 0 {
+		remaining = 0
+	}
+	_, maxCov := ad.coll.MaxCovCount(func(v int32) bool { return !e.assigned[v] })
+	fMax := float64(maxCov) / float64(ad.theta)
+	denom := e.p.Incentives[ad.idx].MaxCost() + ad.cpe*float64(e.n)*fMax
+	delta := 0
+	if denom > 0 {
+		delta = int(math.Floor(remaining / denom))
+	}
+	if delta < 1 {
+		// Conservative guard: keep θ ≥ L(|S_i|+1, ε) valid before the next
+		// seed can be admitted (the paper's Eq. 10 can yield 0 while budget
+		// remains).
+		delta = 1
+	}
+	ad.s += delta
+	e.refreshKpt(ad)
+	newTheta := e.thetaFor(ad, ad.s)
+
+	if ad.group != nil {
+		g := ad.group
+		if newTheta > g.universe.Size() {
+			g.universe.AddFrom(g.sampler, newTheta-g.universe.Size())
+		}
+		// Every member whose view lags the universe absorbs the new sets
+		// (Algorithm 3 per member).
+		for _, m := range g.members {
+			if m.view.Sync() == 0 {
+				continue
+			}
+			m.theta = m.view.Size()
+			for _, v := range m.seeds {
+				m.view.CoverBy(v)
+			}
+			m.pi = m.cpe * float64(e.n) * float64(m.view.NumCovered()) / float64(m.theta)
+			e.rebuildHeap(m)
+		}
+		return
+	}
+
+	if newTheta <= ad.theta {
+		return
+	}
+	ad.excl.AddFrom(ad.sampler, newTheta-ad.theta)
+	ad.theta = newTheta
+	// Algorithm 3: re-attribute coverage of the fresh sets to existing
+	// seeds in insertion order, then refresh the revenue estimate.
+	for _, v := range ad.seeds {
+		ad.coll.CoverBy(v)
+	}
+	ad.pi = ad.cpe * float64(e.n) * float64(ad.coll.NumCovered()) / float64(ad.theta)
+	// Coverage counts may have increased; lazy heap keys would be
+	// underestimates, so rebuild.
+	e.rebuildHeap(ad)
+}
+
+// refreshKpt re-estimates the KPT lower bound when s has doubled since
+// the last estimation; OPT_s is monotone in s, so the stale (smaller)
+// value remains a valid lower bound in between. Shared groups keep one
+// estimate for all members.
+func (e *engine) refreshKpt(ad *adState) {
+	if ad.group != nil {
+		g := ad.group
+		if ad.s >= 2*g.kptAtS {
+			kpt := rrset.KptEstimate(g.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+			if kpt > g.kpt {
+				g.kpt = kpt
+			}
+			g.kptAtS = ad.s
+		}
+		if g.kpt > ad.kpt {
+			ad.kpt = g.kpt
+		}
+		return
+	}
+	if ad.s >= 2*ad.kptAtS {
+		kpt := rrset.KptEstimate(ad.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+		if kpt > ad.kpt {
+			ad.kpt = kpt
+		}
+		ad.kptAtS = ad.s
+	}
+}
+
+// runGreedy is the main loop of Algorithm 2 (lines 5–22) for the CA, CS
+// and PR-GR modes: every round each active advertiser proposes its best
+// candidate, and the best feasible (node, advertiser) pair across
+// advertisers is committed.
+func (e *engine) runGreedy() {
+	for {
+		var bestAd *adState
+		var best candidate
+		for _, ad := range e.ads {
+			if !ad.active {
+				continue
+			}
+			if !e.selectCandidate(ad) {
+				continue
+			}
+			c := ad.cand
+			better := false
+			if bestAd == nil {
+				better = true
+			} else if e.opt.Mode == ModeCostSensitive {
+				better = c.ratio > best.ratio
+			} else {
+				better = c.mpi > best.mpi
+			}
+			if better {
+				bestAd, best = ad, c
+			}
+		}
+		if bestAd == nil {
+			return // all advertisers exhausted (line 16)
+		}
+		e.assign(bestAd, best)
+	}
+}
+
+// runRoundRobin serves advertisers cyclically (PageRank-RR): each active
+// advertiser immediately receives its top-PageRank feasible node.
+func (e *engine) runRoundRobin() {
+	for {
+		progressed := false
+		for _, ad := range e.ads {
+			if !ad.active {
+				continue
+			}
+			if !e.selectCandidate(ad) {
+				continue
+			}
+			e.assign(ad, ad.cand)
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}

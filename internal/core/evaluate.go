@@ -1,0 +1,90 @@
+package core
+
+import (
+	"repro/internal/cascade"
+	"repro/internal/xrand"
+)
+
+// Evaluation is an algorithm-independent re-estimate of an allocation's
+// value: every algorithm's output is scored with the same fresh
+// Monte-Carlo simulation so that cross-algorithm comparisons (Figures 2–4)
+// do not depend on each algorithm's internal estimator.
+type Evaluation struct {
+	// Spread[i] is the Monte-Carlo estimate of σ_i(S_i).
+	Spread []float64
+	// Revenue[i] is π_i = cpe(i)·σ_i(S_i).
+	Revenue []float64
+	// SeedCost[i] is c_i(S_i).
+	SeedCost []float64
+	// Payment[i] is ρ_i = π_i + c_i(S_i).
+	Payment []float64
+}
+
+// TotalRevenue returns π(S⃗).
+func (ev *Evaluation) TotalRevenue() float64 {
+	var t float64
+	for _, r := range ev.Revenue {
+		t += r
+	}
+	return t
+}
+
+// TotalSeedCost returns Σ_i c_i(S_i).
+func (ev *Evaluation) TotalSeedCost() float64 {
+	var t float64
+	for _, c := range ev.SeedCost {
+		t += c
+	}
+	return t
+}
+
+// EvaluateCompetitive scores an allocation under the hard-competition
+// propagation model (the paper's future-work item (iii)): all ads
+// propagate simultaneously and each user engages with at most one ad per
+// time window. Engagement counts — hence revenues — can only shrink
+// relative to EvaluateMC's independent propagation.
+func EvaluateCompetitive(p *Problem, a *Allocation, runs, workers int, seed uint64) *Evaluation {
+	h := p.NumAds()
+	probs := make([][]float32, h)
+	for i := range probs {
+		probs[i] = p.EdgeProbs(i)
+	}
+	sim := cascade.NewMultiAdSimulator(p.Graph, probs)
+	spreads := sim.Engagements(a.Seeds, runs, workers, xrand.New(seed))
+	ev := &Evaluation{
+		Spread:   spreads,
+		Revenue:  make([]float64, h),
+		SeedCost: make([]float64, h),
+		Payment:  make([]float64, h),
+	}
+	for i := 0; i < h; i++ {
+		ev.Revenue[i] = p.Ads[i].CPE * spreads[i]
+		ev.SeedCost[i] = p.Incentives[i].TotalCost(a.Seeds[i])
+		ev.Payment[i] = ev.Revenue[i] + ev.SeedCost[i]
+	}
+	return ev
+}
+
+// EvaluateMC scores an allocation with fresh Monte-Carlo simulation (runs
+// cascades per ad, split across workers).
+func EvaluateMC(p *Problem, a *Allocation, runs, workers int, seed uint64) *Evaluation {
+	h := p.NumAds()
+	ev := &Evaluation{
+		Spread:   make([]float64, h),
+		Revenue:  make([]float64, h),
+		SeedCost: make([]float64, h),
+		Payment:  make([]float64, h),
+	}
+	rng := xrand.New(seed)
+	for i := 0; i < h; i++ {
+		adRng := rng.Split()
+		if len(a.Seeds[i]) > 0 {
+			sim := cascade.NewSimulator(p.Graph, p.EdgeProbs(i))
+			ev.Spread[i] = sim.SpreadParallel(a.Seeds[i], runs, workers, adRng)
+		}
+		ev.Revenue[i] = p.Ads[i].CPE * ev.Spread[i]
+		ev.SeedCost[i] = p.Incentives[i].TotalCost(a.Seeds[i])
+		ev.Payment[i] = ev.Revenue[i] + ev.SeedCost[i]
+	}
+	return ev
+}

@@ -1,0 +1,85 @@
+package core
+
+// candEntry is a candidate node with its (possibly stale) selection key in
+// an advertiser's lazy max-heap. Keys only decrease between sample-growth
+// events, so the classic CELF lazy-revalidation strategy is sound: pop the
+// top, recompute its key, and reinsert if it dropped.
+type candEntry struct {
+	node int32
+	key  float64
+}
+
+// candHeap is a binary max-heap of candidate entries.
+type candHeap struct {
+	a []candEntry
+}
+
+func (h *candHeap) Len() int { return len(h.a) }
+
+func (h *candHeap) Reset(capacity int) {
+	if cap(h.a) < capacity {
+		h.a = make([]candEntry, 0, capacity)
+	} else {
+		h.a = h.a[:0]
+	}
+}
+
+// Push inserts an entry.
+func (h *candHeap) Push(e candEntry) {
+	h.a = append(h.a, e)
+	h.up(len(h.a) - 1)
+}
+
+// Peek returns the max entry without removing it. Panics on empty heap.
+func (h *candHeap) Peek() candEntry { return h.a[0] }
+
+// Pop removes and returns the max entry. Panics on empty heap.
+func (h *candHeap) Pop() candEntry {
+	top := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Build heapifies the given entries in O(n), replacing current contents.
+// The slice is taken over by the heap.
+func (h *candHeap) Build(entries []candEntry) {
+	h.a = entries
+	for i := len(h.a)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *candHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.a[parent].key >= h.a[i].key {
+			break
+		}
+		h.a[parent], h.a[i] = h.a[i], h.a[parent]
+		i = parent
+	}
+}
+
+func (h *candHeap) down(i int) {
+	n := len(h.a)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.a[l].key > h.a[largest].key {
+			largest = l
+		}
+		if r < n && h.a[r].key > h.a[largest].key {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.a[i], h.a[largest] = h.a[largest], h.a[i]
+		i = largest
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// lazyPair is a (node, advertiser) pair with a lazily maintained selection
+// key in the CELF priority queue of the reference greedy algorithms.
+type lazyPair struct {
+	ad    int
+	node  int32
+	key   float64
+	epoch int // advertiser epoch at which key was computed
+}
+
+type lazyPairHeap []lazyPair
+
+func (h lazyPairHeap) Len() int            { return len(h) }
+func (h lazyPairHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
+func (h lazyPairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lazyPairHeap) Push(x interface{}) { *h = append(*h, x.(lazyPair)) }
+func (h *lazyPairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// CAGreedyLazy is CAGreedy with CELF lazy evaluation: identical output,
+// far fewer oracle calls. Valid because the selection key (marginal
+// revenue, or revenue-per-payment rate for the cost-sensitive variant)
+// only decreases as the advertiser's seed set grows, so a pair whose key
+// is fresh for the advertiser's current epoch dominates all stale pairs.
+func CAGreedyLazy(p *Problem, oracle SpreadOracle) (*Allocation, error) {
+	return lazyGreedy(p, oracle, false)
+}
+
+// CSGreedyLazy is CSGreedy with CELF lazy evaluation.
+func CSGreedyLazy(p *Problem, oracle SpreadOracle) (*Allocation, error) {
+	return lazyGreedy(p, oracle, true)
+}
+
+func lazyGreedy(p *Problem, oracle SpreadOracle, costSensitive bool) (*Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	h := p.NumAds()
+	n := p.Graph.NumNodes()
+	alloc := NewAllocation(h)
+	assigned := make([]bool, n)
+	sigma := make([]float64, h)
+	epoch := make([]int, h)
+
+	evaluate := func(ad int, u int32) (key, mpi, mrho, sigmaAfter float64) {
+		s := oracle.Spread(ad, append(alloc.Seeds[ad], u))
+		mpi = p.Ads[ad].CPE * (s - sigma[ad])
+		if mpi < 0 {
+			mpi = 0
+		}
+		mrho = mpi + p.Incentives[ad].Cost(u)
+		key = mpi
+		if costSensitive {
+			den := mrho
+			if den < 1e-12 {
+				den = 1e-12
+			}
+			key = mpi / den
+		}
+		return key, mpi, mrho, s
+	}
+
+	pq := make(lazyPairHeap, 0, h*int(n))
+	for ad := 0; ad < h; ad++ {
+		for u := int32(0); u < n; u++ {
+			key, _, _, _ := evaluate(ad, u)
+			pq = append(pq, lazyPair{ad: ad, node: u, key: key, epoch: 0})
+		}
+	}
+	heap.Init(&pq)
+
+	for pq.Len() > 0 {
+		top := heap.Pop(&pq).(lazyPair)
+		if top.epoch != epoch[top.ad] {
+			// Stale: refresh and reinsert.
+			key, _, _, _ := evaluate(top.ad, top.node)
+			top.key = key
+			top.epoch = epoch[top.ad]
+			heap.Push(&pq, top)
+			continue
+		}
+		// Fresh top: the greedy choice. Recompute the full marginals for
+		// the feasibility test (key alone does not carry mrho).
+		_, mpi, mrho, sigmaAfter := evaluate(top.ad, top.node)
+		feasible := !assigned[top.node] &&
+			alloc.Payment[top.ad]+mrho <= p.Ads[top.ad].Budget
+		if feasible {
+			alloc.Seeds[top.ad] = append(alloc.Seeds[top.ad], top.node)
+			assigned[top.node] = true
+			sigma[top.ad] = sigmaAfter
+			alloc.Revenue[top.ad] += mpi
+			alloc.SeedCost[top.ad] += p.Incentives[top.ad].Cost(top.node)
+			alloc.Payment[top.ad] = alloc.Revenue[top.ad] + alloc.SeedCost[top.ad]
+			epoch[top.ad]++
+		}
+		// Either way the pair leaves the ground set (Alg. 1 lines 9/12).
+	}
+	if err := alloc.Validate(p); err != nil {
+		return nil, fmt.Errorf("core: lazy greedy produced invalid allocation: %w", err)
+	}
+	return alloc, nil
+}

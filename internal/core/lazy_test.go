@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// CELF lazy evaluation must not change the greedy outcome: on random tiny
+// instances with an exact oracle, the lazy and plain variants produce
+// identical allocations.
+func TestLazyGreedyMatchesPlain(t *testing.T) {
+	rng := xrand.New(61)
+	for trial := 0; trial < 6; trial++ {
+		p := randomProblem(rng, 2)
+		oracle := NewExactOracle(p)
+
+		plainCA, err := CAGreedy(p, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazyCA, err := CAGreedyLazy(p, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameAllocation(t, "CA", plainCA, lazyCA)
+
+		plainCS, err := CSGreedy(p, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazyCS, err := CSGreedyLazy(p, oracle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameAllocation(t, "CS", plainCS, lazyCS)
+	}
+}
+
+func assertSameAllocation(t *testing.T, label string, a, b *Allocation) {
+	t.Helper()
+	if math.Abs(a.TotalRevenue()-b.TotalRevenue()) > 1e-9 {
+		t.Fatalf("%s: revenue differs: plain %v vs lazy %v",
+			label, a.TotalRevenue(), b.TotalRevenue())
+	}
+	for i := range a.Seeds {
+		if len(a.Seeds[i]) != len(b.Seeds[i]) {
+			t.Fatalf("%s: ad %d seed counts differ: %v vs %v",
+				label, i, a.Seeds[i], b.Seeds[i])
+		}
+	}
+}
+
+// The lazy variants reproduce the Figure 1 tightness outcome.
+func TestLazyGreedyFig1(t *testing.T) {
+	p := Fig1Instance()
+	oracle := NewExactOracle(p)
+	ca, err := CAGreedyLazy(p, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ca.TotalRevenue()-3) > 1e-9 {
+		t.Errorf("lazy CA revenue = %v, want 3", ca.TotalRevenue())
+	}
+	cs, err := CSGreedyLazy(p, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cs.TotalRevenue()-6) > 1e-9 {
+		t.Errorf("lazy CS revenue = %v, want 6", cs.TotalRevenue())
+	}
+}

@@ -1,0 +1,171 @@
+// Package core implements the paper's primary contribution: the
+// Revenue-Maximization (RM) problem for incentivized social advertising
+// (Problem 1) and its four allocation algorithms —
+//
+//   - CA-GREEDY and CS-GREEDY (Algorithm 1 / Section 3.2): the greedy
+//     algorithms with oracle spread access, used on small instances and as
+//     the reference implementations for the scalable versions;
+//   - TI-CARM and TI-CSRM (Section 4.2, Algorithms 2–5): the scalable
+//     realizations based on reverse-reachable set sampling with TIM-style
+//     sample-size determination and latent seed-set size estimation.
+//
+// The engine also hosts the PageRank-GR / PageRank-RR baseline selection
+// modes used in the paper's experiments (Section 5); the PageRank scores
+// themselves are computed by internal/baseline.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/incentive"
+	"repro/internal/topic"
+)
+
+// Problem is an instance of Problem 1 (RM): a social graph with a
+// topic-aware propagation model, h advertisers with budgets and CPEs, and
+// per-ad seed incentive tables.
+type Problem struct {
+	Graph *graph.Graph
+	Model *topic.Model
+	Ads   []topic.Ad
+	// Incentives[i].Cost(u) is c_i(u), the incentive paid to u for
+	// endorsing ad i.
+	Incentives []*incentive.Table
+}
+
+// NumAds returns h.
+func (p *Problem) NumAds() int { return len(p.Ads) }
+
+// NumNodes returns |V|.
+func (p *Problem) NumNodes() int32 { return p.Graph.NumNodes() }
+
+// Validate checks structural consistency of the instance.
+func (p *Problem) Validate() error {
+	if p.Graph == nil || p.Model == nil {
+		return fmt.Errorf("core: problem missing graph or model")
+	}
+	if p.Model.Graph() != p.Graph {
+		return fmt.Errorf("core: topic model built on a different graph")
+	}
+	if len(p.Ads) == 0 {
+		return fmt.Errorf("core: no advertisers")
+	}
+	if len(p.Incentives) != len(p.Ads) {
+		return fmt.Errorf("core: %d incentive tables for %d ads", len(p.Incentives), len(p.Ads))
+	}
+	for i, ad := range p.Ads {
+		if ad.ID != i {
+			return fmt.Errorf("core: ad %d has ID %d (must be positional)", i, ad.ID)
+		}
+		if err := ad.Validate(p.Model.NumTopics()); err != nil {
+			return err
+		}
+		if p.Incentives[i] == nil {
+			return fmt.Errorf("core: ad %d has nil incentive table", i)
+		}
+		if p.Incentives[i].NumNodes() != int(p.Graph.NumNodes()) {
+			return fmt.Errorf("core: ad %d incentive table covers %d nodes, graph has %d",
+				i, p.Incentives[i].NumNodes(), p.Graph.NumNodes())
+		}
+	}
+	return nil
+}
+
+// EdgeProbs materializes the ad-specific arc probabilities for ad i
+// (Eq. 1).
+func (p *Problem) EdgeProbs(i int) []float32 {
+	return p.Model.EdgeProbs(p.Ads[i].Gamma)
+}
+
+// Allocation is a feasible assignment of seed sets to advertisers together
+// with the producing algorithm's own accounting: estimated revenue π_i,
+// seeding cost c_i(S_i), and payment ρ_i = π_i + c_i(S_i) per ad.
+type Allocation struct {
+	Seeds    [][]int32
+	Revenue  []float64
+	SeedCost []float64
+	Payment  []float64
+}
+
+// NewAllocation returns an empty allocation for h advertisers.
+func NewAllocation(h int) *Allocation {
+	return &Allocation{
+		Seeds:    make([][]int32, h),
+		Revenue:  make([]float64, h),
+		SeedCost: make([]float64, h),
+		Payment:  make([]float64, h),
+	}
+}
+
+// TotalRevenue returns π(S⃗) = Σ_i π_i(S_i).
+func (a *Allocation) TotalRevenue() float64 {
+	var t float64
+	for _, r := range a.Revenue {
+		t += r
+	}
+	return t
+}
+
+// TotalSeedCost returns Σ_i c_i(S_i), the total incentive spend.
+func (a *Allocation) TotalSeedCost() float64 {
+	var t float64
+	for _, c := range a.SeedCost {
+		t += c
+	}
+	return t
+}
+
+// TotalPayment returns Σ_i ρ_i(S_i).
+func (a *Allocation) TotalPayment() float64 {
+	var t float64
+	for _, c := range a.Payment {
+		t += c
+	}
+	return t
+}
+
+// NumSeeds returns the total number of seeds across advertisers.
+func (a *Allocation) NumSeeds() int {
+	n := 0
+	for _, s := range a.Seeds {
+		n += len(s)
+	}
+	return n
+}
+
+// Validate checks the RM constraints with a tight default budget
+// tolerance. Equivalent to ValidateSlack(p, 1e-6).
+func (a *Allocation) Validate(p *Problem) error {
+	return a.ValidateSlack(p, 1e-6)
+}
+
+// ValidateSlack checks the RM constraints: seed sets pairwise disjoint
+// (partition matroid) and every advertiser's payment within
+// budget·(1+slack). A positive slack is needed for the RR-based engine,
+// whose feasibility checks use admission-time spread estimates that are
+// revised (within the ±ε accuracy of Eq. 9) when the sample grows.
+func (a *Allocation) ValidateSlack(p *Problem, slack float64) error {
+	if len(a.Seeds) != p.NumAds() {
+		return fmt.Errorf("core: allocation has %d seed sets for %d ads", len(a.Seeds), p.NumAds())
+	}
+	owner := make(map[int32]int)
+	for i, seeds := range a.Seeds {
+		for _, u := range seeds {
+			if u < 0 || u >= p.Graph.NumNodes() {
+				return fmt.Errorf("core: ad %d seed %d out of range", i, u)
+			}
+			if j, dup := owner[u]; dup {
+				return fmt.Errorf("core: node %d seeded for both ad %d and ad %d", u, j, i)
+			}
+			owner[u] = i
+		}
+	}
+	for i := range a.Seeds {
+		if a.Payment[i] > p.Ads[i].Budget*(1+slack)+slack {
+			return fmt.Errorf("core: ad %d payment %v exceeds budget %v (slack %v)",
+				i, a.Payment[i], p.Ads[i].Budget, slack)
+		}
+	}
+	return nil
+}

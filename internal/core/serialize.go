@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// allocationFile is the on-disk JSON schema of an allocation, versioned so
+// the format can evolve.
+type allocationFile struct {
+	Version  int       `json:"version"`
+	Seeds    [][]int32 `json:"seeds"`
+	Revenue  []float64 `json:"revenue"`
+	SeedCost []float64 `json:"seed_cost"`
+	Payment  []float64 `json:"payment"`
+}
+
+const allocationFileVersion = 1
+
+// WriteAllocation serializes an allocation as JSON.
+func WriteAllocation(w io.Writer, a *Allocation) error {
+	f := allocationFile{
+		Version:  allocationFileVersion,
+		Seeds:    a.Seeds,
+		Revenue:  a.Revenue,
+		SeedCost: a.SeedCost,
+		Payment:  a.Payment,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadAllocation deserializes an allocation written by WriteAllocation.
+func ReadAllocation(r io.Reader) (*Allocation, error) {
+	var f allocationFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding allocation: %w", err)
+	}
+	if f.Version != allocationFileVersion {
+		return nil, fmt.Errorf("core: unsupported allocation file version %d", f.Version)
+	}
+	h := len(f.Seeds)
+	if len(f.Revenue) != h || len(f.SeedCost) != h || len(f.Payment) != h {
+		return nil, fmt.Errorf("core: allocation file fields have mismatched lengths")
+	}
+	return &Allocation{
+		Seeds:    f.Seeds,
+		Revenue:  f.Revenue,
+		SeedCost: f.SeedCost,
+		Payment:  f.Payment,
+	}, nil
+}
+
+// SaveAllocation writes the allocation to the named file.
+func SaveAllocation(path string, a *Allocation) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteAllocation(f, a); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadAllocation reads an allocation from the named file.
+func LoadAllocation(path string) (*Allocation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAllocation(f)
+}

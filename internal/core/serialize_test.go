@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllocationRoundTrip(t *testing.T) {
+	a := NewAllocation(2)
+	a.Seeds[0] = []int32{3, 1, 4}
+	a.Seeds[1] = []int32{5}
+	a.Revenue = []float64{10.5, 2}
+	a.SeedCost = []float64{1.25, 0.5}
+	a.Payment = []float64{11.75, 2.5}
+
+	var buf bytes.Buffer
+	if err := WriteAllocation(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllocation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Seeds) != 2 || len(got.Seeds[0]) != 3 || got.Seeds[0][1] != 1 {
+		t.Errorf("seeds lost in round trip: %v", got.Seeds)
+	}
+	if got.Revenue[0] != 10.5 || got.Payment[1] != 2.5 {
+		t.Errorf("accounting lost in round trip: %+v", got)
+	}
+}
+
+func TestAllocationFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "alloc.json")
+	a := NewAllocation(1)
+	a.Seeds[0] = []int32{7}
+	a.Revenue[0] = 3
+	a.Payment[0] = 4
+	a.SeedCost[0] = 1
+	if err := SaveAllocation(path, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAllocation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seeds[0][0] != 7 || got.Payment[0] != 4 {
+		t.Error("file round trip lost data")
+	}
+}
+
+func TestReadAllocationErrors(t *testing.T) {
+	if _, err := ReadAllocation(strings.NewReader("not json")); err == nil {
+		t.Error("expected error for invalid JSON")
+	}
+	if _, err := ReadAllocation(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("expected error for unknown version")
+	}
+	if _, err := ReadAllocation(strings.NewReader(
+		`{"version":1,"seeds":[[1]],"revenue":[],"seed_cost":[],"payment":[]}`)); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/incentive"
+)
+
+// CompetitionAblation evaluates each algorithm's allocation under both
+// the paper's independent-propagation assumption and the hard-competition
+// propagation model (future-work item (iii)): every user engages with at
+// most one ad. The revenue drop measures how much the independence
+// assumption overstates revenue in a fully competitive marketplace.
+func CompetitionAblation(dataset string, alpha float64, params Params,
+	progress func(string)) (*Table, error) {
+	params = params.withDefaults()
+	if params.Epsilon == 0 {
+		params.Epsilon = 0.1
+	}
+	if progress == nil {
+		progress = func(string) {}
+	}
+	w, err := NewWorkbench(dataset, params)
+	if err != nil {
+		return nil, err
+	}
+	p := w.Problem(incentive.Linear, alpha)
+	prScores := baseline.ScoresForProblem(p, baseline.PageRankOptions{})
+
+	t := &Table{
+		Title: fmt.Sprintf("Ablation: independent vs hard-competition propagation (%s, α=%g)",
+			dataset, alpha),
+		Header: []string{"algorithm", "indep-revenue", "competitive-revenue", "drop-%", "seeds"},
+	}
+	for _, alg := range PaperAlgorithms() {
+		progress(fmt.Sprintf("%s %v", dataset, alg))
+		opt := core.Options{
+			Epsilon:       params.Epsilon,
+			Window:        params.Window,
+			Seed:          params.Seed,
+			MaxThetaPerAd: params.MaxThetaPerAd,
+		}
+		var (
+			alloc *core.Allocation
+			err   error
+		)
+		switch alg {
+		case AlgTICSRM:
+			alloc, _, err = core.TICSRM(p, opt)
+		case AlgTICARM:
+			alloc, _, err = core.TICARM(p, opt)
+		case AlgPageRankGR:
+			opt.PRScores = prScores
+			alloc, _, err = baseline.PageRankGR(p, opt)
+		case AlgPageRankRR:
+			opt.PRScores = prScores
+			alloc, _, err = baseline.PageRankRR(p, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		indep := core.EvaluateMC(p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xabcdef)
+		comp := core.EvaluateCompetitive(p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xfedcba)
+		drop := 0.0
+		if indep.TotalRevenue() > 0 {
+			drop = 100 * (indep.TotalRevenue() - comp.TotalRevenue()) / indep.TotalRevenue()
+		}
+		t.Append(alg.String(), indep.TotalRevenue(), comp.TotalRevenue(), drop, alloc.NumSeeds())
+	}
+	return t, nil
+}
+
+// SharingAblation measures the memory saved by sharing RR-set universes
+// across ads with identical topic distributions (future-work item (i):
+// "whether TI-CSRM can be made more memory efficient"). It runs TI-CSRM
+// with and without sample sharing on a fully-competitive marketplace
+// (identical topic distributions, the best case for sharing) and reports
+// memory and revenue side by side.
+func SharingAblation(dataset string, hs []int, params Params,
+	progress func(string)) (*Table, error) {
+	params = params.withDefaults()
+	if params.Epsilon == 0 {
+		params.Epsilon = 0.3
+	}
+	if progress == nil {
+		progress = func(string) {}
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: RR-sample sharing across ads (%s)", dataset),
+		Header: []string{"h", "sharing", "memory-mb", "revenue", "seeds"},
+	}
+	for _, h := range hs {
+		hp := params
+		hp.H = h
+		wh, err := NewWorkbench(dataset, hp)
+		if err != nil {
+			return nil, err
+		}
+		p := wh.Problem(incentive.Linear, 0.2)
+		for _, share := range []bool{false, true} {
+			progress(fmt.Sprintf("%s h=%d share=%v", dataset, h, share))
+			alloc, stats, err := core.TICSRM(p, core.Options{
+				Epsilon:       hp.Epsilon,
+				Window:        hp.Window,
+				Seed:          hp.Seed,
+				MaxThetaPerAd: hp.MaxThetaPerAd,
+				ShareSamples:  share,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ev := core.EvaluateMC(p, alloc, hp.MCEvalRuns, hp.Workers, hp.Seed^0xabcdef)
+			t.Append(h, share, float64(stats.RRMemoryBytes)/(1<<20),
+				ev.TotalRevenue(), alloc.NumSeeds())
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestCompetitionAblation(t *testing.T) {
+	params := tinyParams()
+	tbl, err := CompetitionAblation("epinions", 0.3, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4 algorithms", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		indep, err1 := strconv.ParseFloat(row[1], 64)
+		comp, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable row %v", row)
+		}
+		// Hard competition can only lose engagements (up to MC noise).
+		if comp > indep*1.02 {
+			t.Errorf("%s: competitive revenue %v exceeds independent %v",
+				row[0], comp, indep)
+		}
+		if comp <= 0 {
+			t.Errorf("%s: competitive revenue non-positive", row[0])
+		}
+	}
+}
+
+func TestSharingAblation(t *testing.T) {
+	params := tinyParams()
+	tbl, err := SharingAblation("epinions", []int{2, 4}, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 { // 2 h-values × {exclusive, shared}
+		t.Fatalf("got %d rows, want 4", len(tbl.Rows))
+	}
+	// For each h, the shared row must use less memory.
+	for i := 0; i+1 < len(tbl.Rows); i += 2 {
+		excl, err1 := strconv.ParseFloat(tbl.Rows[i][2], 64)
+		shared, err2 := strconv.ParseFloat(tbl.Rows[i+1][2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("unparsable memory cells: %v / %v", tbl.Rows[i], tbl.Rows[i+1])
+		}
+		if shared >= excl {
+			t.Errorf("h=%s: shared memory %v not below exclusive %v",
+				tbl.Rows[i][0], shared, excl)
+		}
+	}
+}

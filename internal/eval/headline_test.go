@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/incentive"
+)
+
+// TestHeadlineCSRMBeatsCARM pins the paper's headline result at reduced
+// scale with the paper's quality accuracy (ε = 0.1): on the EPINIONS-like
+// marketplace with linear incentives, averaged over engine seeds,
+// TI-CSRM spends strictly less on seed incentives than TI-CARM while
+// earning at least comparable revenue. (At tiny scale the revenue gap is
+// noise-level — see EXPERIMENTS.md — but the cost ordering and the
+// no-worse-revenue property are robust; the clear revenue win appears at
+// small scale and above.)
+func TestHeadlineCSRMBeatsCARM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second end-to-end run")
+	}
+	w, err := NewWorkbench("epinions", Params{
+		Scale: gen.ScaleTiny, Seed: 7, H: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Problem(incentive.Linear, 0.3)
+
+	var caRev, csRev, caCost, csCost float64
+	for _, seed := range []uint64{7, 8, 9} {
+		opt := core.Options{Epsilon: 0.1, Seed: seed, MaxThetaPerAd: 400_000}
+		ca, _, err := core.TICARM(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, _, err := core.TICSRM(p, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		evCA := core.EvaluateMC(p, ca, 4000, 2, 99)
+		evCS := core.EvaluateMC(p, cs, 4000, 2, 99)
+		caRev += evCA.TotalRevenue()
+		csRev += evCS.TotalRevenue()
+		caCost += evCA.TotalSeedCost()
+		csCost += evCS.TotalSeedCost()
+
+		// The engine's internal estimate must track the independent MC
+		// score within the ε accuracy regime (winner's-curse guard).
+		for _, pair := range []struct {
+			name  string
+			alloc *core.Allocation
+			ev    *core.Evaluation
+		}{{"TI-CARM", ca, evCA}, {"TI-CSRM", cs, evCS}} {
+			est, mc := pair.alloc.TotalRevenue(), pair.ev.TotalRevenue()
+			if rel := (est - mc) / mc; rel > 0.05 || rel < -0.05 {
+				t.Errorf("%s seed %d: engine estimate %.1f deviates %.1f%% from MC %.1f",
+					pair.name, seed, est, 100*rel, mc)
+			}
+		}
+	}
+	if csCost >= caCost {
+		t.Errorf("TI-CSRM mean seed cost %.1f not below TI-CARM %.1f", csCost/3, caCost/3)
+	}
+	if csRev < 0.98*caRev {
+		t.Errorf("TI-CSRM mean revenue %.1f more than 2%% below TI-CARM %.1f",
+			csRev/3, caRev/3)
+	}
+}

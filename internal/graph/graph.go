@@ -1,0 +1,268 @@
+// Package graph provides the social-network substrate of the library: an
+// immutable directed graph in compressed-sparse-row (CSR) form with both
+// out- and in-adjacency, a mutable Builder for construction, edge-list
+// text I/O, and degree statistics.
+//
+// Semantics follow the paper: an arc (u, v) means v follows u, so
+// influence (and ad impressions) flow from u to v. Out-neighbors of u are
+// the users who see u's posts; in-neighbors of v are the users v follows.
+//
+// Node IDs are dense int32 indices in [0, N). Edge IDs are the positions of
+// arcs in the out-CSR arrays, which lets companion packages (e.g. topic
+// probability tensors) attach per-edge data in parallel slices.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable directed graph in CSR form.
+type Graph struct {
+	n int32
+
+	// Out-adjacency: arcs sorted by (source, target). outTargets holds the
+	// head of every arc; arcs of node u occupy
+	// outTargets[outOff[u]:outOff[u+1]]. The position of an arc within
+	// outTargets is its canonical edge ID.
+	outOff     []int64
+	outTargets []int32
+
+	// In-adjacency mirrors the same arcs grouped by target. inEdgeIDs maps
+	// each in-adjacency slot back to the canonical (out-CSR) edge ID so that
+	// per-edge attributes can be looked up during reverse traversals.
+	inOff     []int64
+	inSources []int32
+	inEdgeIDs []int32
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int32 { return g.n }
+
+// NumEdges returns the number of directed arcs.
+func (g *Graph) NumEdges() int64 { return int64(len(g.outTargets)) }
+
+// OutDegree returns the number of arcs leaving u.
+func (g *Graph) OutDegree(u int32) int32 {
+	return int32(g.outOff[u+1] - g.outOff[u])
+}
+
+// InDegree returns the number of arcs entering v.
+func (g *Graph) InDegree(v int32) int32 {
+	return int32(g.inOff[v+1] - g.inOff[v])
+}
+
+// OutNeighbors returns the targets of arcs leaving u. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(u int32) []int32 {
+	return g.outTargets[g.outOff[u]:g.outOff[u+1]]
+}
+
+// OutEdgeRange returns the half-open range [lo, hi) of edge IDs for arcs
+// leaving u; edge ID lo+i corresponds to OutNeighbors(u)[i].
+func (g *Graph) OutEdgeRange(u int32) (lo, hi int64) {
+	return g.outOff[u], g.outOff[u+1]
+}
+
+// InNeighbors returns the sources of arcs entering v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) InNeighbors(v int32) []int32 {
+	return g.inSources[g.inOff[v]:g.inOff[v+1]]
+}
+
+// InEdgeIDs returns, for each in-neighbor slot of v (aligned with
+// InNeighbors(v)), the canonical edge ID of the corresponding arc. The
+// returned slice aliases internal storage and must not be modified.
+func (g *Graph) InEdgeIDs(v int32) []int32 {
+	return g.inEdgeIDs[g.inOff[v]:g.inOff[v+1]]
+}
+
+// EdgeEndpoints returns the (source, target) pair of the canonical edge ID e.
+func (g *Graph) EdgeEndpoints(e int64) (int32, int32) {
+	v := g.outTargets[e]
+	// Binary search for the source node owning position e.
+	u := int32(sort.Search(int(g.n), func(i int) bool { return g.outOff[i+1] > e }))
+	return u, v
+}
+
+// HasEdge reports whether the arc (u, v) exists.
+func (g *Graph) HasEdge(u, v int32) bool {
+	nb := g.OutNeighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// Edges calls fn(u, v, edgeID) for every arc in edge-ID order. If fn
+// returns false, iteration stops.
+func (g *Graph) Edges(fn func(u, v int32, edgeID int64) bool) {
+	for u := int32(0); u < g.n; u++ {
+		lo, hi := g.outOff[u], g.outOff[u+1]
+		for e := lo; e < hi; e++ {
+			if !fn(u, g.outTargets[e], e) {
+				return
+			}
+		}
+	}
+}
+
+// DegreeStats summarizes the degree distribution of a graph.
+type DegreeStats struct {
+	MaxOut, MaxIn   int32
+	MeanOut, MeanIn float64
+	ZeroOut, ZeroIn int32 // number of sinks / sources
+}
+
+// Stats computes degree statistics.
+func (g *Graph) Stats() DegreeStats {
+	var s DegreeStats
+	if g.n == 0 {
+		return s
+	}
+	for u := int32(0); u < g.n; u++ {
+		od, id := g.OutDegree(u), g.InDegree(u)
+		if od > s.MaxOut {
+			s.MaxOut = od
+		}
+		if id > s.MaxIn {
+			s.MaxIn = id
+		}
+		if od == 0 {
+			s.ZeroOut++
+		}
+		if id == 0 {
+			s.ZeroIn++
+		}
+	}
+	s.MeanOut = float64(g.NumEdges()) / float64(g.n)
+	s.MeanIn = s.MeanOut
+	return s
+}
+
+// Builder accumulates arcs and produces an immutable Graph. Duplicate arcs
+// and self-loops are dropped at Build time (neither carries meaning for
+// influence propagation).
+type Builder struct {
+	n    int32
+	srcs []int32
+	dsts []int32
+}
+
+// NewBuilder returns a Builder for a graph with n nodes. Capacity hints the
+// expected number of arcs (0 is fine).
+func NewBuilder(n int32, capacity int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{
+		n:    n,
+		srcs: make([]int32, 0, capacity),
+		dsts: make([]int32, 0, capacity),
+	}
+}
+
+// NumNodes returns the node count the builder was created with.
+func (b *Builder) NumNodes() int32 { return b.n }
+
+// AddEdge records the arc (u, v): v follows u; influence flows u -> v.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.srcs = append(b.srcs, u)
+	b.dsts = append(b.dsts, v)
+}
+
+// AddUndirected records both arcs (u, v) and (v, u), matching the paper's
+// treatment of undirected datasets ("we direct all edges in both
+// directions").
+func (b *Builder) AddUndirected(u, v int32) {
+	b.AddEdge(u, v)
+	b.AddEdge(v, u)
+}
+
+// Build produces the immutable CSR graph, deduplicating arcs and dropping
+// self-loops. The Builder can be reused afterwards (its arc list is
+// preserved).
+func (b *Builder) Build() *Graph {
+	n := b.n
+	g := &Graph{n: n}
+
+	// Count out-degrees, ignoring self-loops; duplicates removed below.
+	outCount := make([]int64, n+1)
+	kept := 0
+	for i := range b.srcs {
+		if b.srcs[i] != b.dsts[i] {
+			outCount[b.srcs[i]+1]++
+			kept++
+		}
+	}
+	for i := int32(0); i < n; i++ {
+		outCount[i+1] += outCount[i]
+	}
+	targets := make([]int32, kept)
+	cursor := make([]int64, n)
+	copy(cursor, outCount[:n])
+	for i := range b.srcs {
+		u, v := b.srcs[i], b.dsts[i]
+		if u == v {
+			continue
+		}
+		targets[cursor[u]] = v
+		cursor[u]++
+	}
+
+	// Sort each adjacency list and deduplicate in place.
+	g.outOff = make([]int64, n+1)
+	w := int64(0)
+	for u := int32(0); u < n; u++ {
+		lo, hi := outCount[u], outCount[u+1]
+		row := targets[lo:hi]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		g.outOff[u] = w
+		var prev int32 = -1
+		for _, v := range row {
+			if v != prev {
+				targets[w] = v
+				w++
+				prev = v
+			}
+		}
+	}
+	g.outOff[n] = w
+	g.outTargets = targets[:w:w]
+
+	// Build in-adjacency from the deduplicated arcs.
+	inCount := make([]int64, n+1)
+	for _, v := range g.outTargets {
+		inCount[v+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		inCount[i+1] += inCount[i]
+	}
+	g.inOff = inCount
+	g.inSources = make([]int32, w)
+	g.inEdgeIDs = make([]int32, w)
+	inCursor := make([]int64, n)
+	copy(inCursor, g.inOff[:n])
+	g.Edges(func(u, v int32, e int64) bool {
+		p := inCursor[v]
+		g.inSources[p] = u
+		g.inEdgeIDs[p] = int32(e)
+		inCursor[v] = p + 1
+		return true
+	})
+	return g
+}
+
+// FromEdges is a convenience constructor building a graph directly from
+// parallel source/target slices.
+func FromEdges(n int32, srcs, dsts []int32) *Graph {
+	if len(srcs) != len(dsts) {
+		panic("graph: FromEdges slice length mismatch")
+	}
+	b := NewBuilder(n, len(srcs))
+	for i := range srcs {
+		b.AddEdge(srcs[i], dsts[i])
+	}
+	return b.Build()
+}

@@ -1,0 +1,253 @@
+package graph
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// buildDiamond returns the 4-node graph 0->1, 0->2, 1->3, 2->3.
+func buildDiamond() *Graph {
+	b := NewBuilder(4, 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := buildDiamond()
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if got := g.OutNeighbors(0); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("OutNeighbors(0) = %v, want [1 2]", got)
+	}
+	if got := g.InNeighbors(3); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("InNeighbors(3) = %v, want [1 2]", got)
+	}
+	if g.OutDegree(3) != 0 {
+		t.Errorf("OutDegree(3) = %d, want 0", g.OutDegree(3))
+	}
+	if g.InDegree(0) != 0 {
+		t.Errorf("InDegree(0) = %d, want 0", g.InDegree(0))
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3, 6)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(1, 1) // self-loop
+	b.AddEdge(2, 0)
+	b.AddEdge(2, 0) // duplicate
+	b.AddEdge(2, 1)
+	g := b.Build()
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3 (dedup+loop removal)", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 0) || !g.HasEdge(2, 1) {
+		t.Error("expected edges missing after dedup")
+	}
+	if g.HasEdge(1, 1) {
+		t.Error("self-loop survived Build")
+	}
+}
+
+func TestAddUndirected(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.AddUndirected(0, 1)
+	g := b.Build()
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Fatal("AddUndirected must create both arcs")
+	}
+}
+
+func TestEdgeEndpoints(t *testing.T) {
+	g := buildDiamond()
+	g.Edges(func(u, v int32, e int64) bool {
+		gu, gv := g.EdgeEndpoints(e)
+		if gu != u || gv != v {
+			t.Errorf("EdgeEndpoints(%d) = (%d,%d), want (%d,%d)", e, gu, gv, u, v)
+		}
+		return true
+	})
+}
+
+func TestInEdgeIDsAlignment(t *testing.T) {
+	g := buildDiamond()
+	for v := int32(0); v < g.NumNodes(); v++ {
+		srcs := g.InNeighbors(v)
+		ids := g.InEdgeIDs(v)
+		if len(srcs) != len(ids) {
+			t.Fatalf("misaligned in-adjacency at node %d", v)
+		}
+		for i := range srcs {
+			u, w := g.EdgeEndpoints(int64(ids[i]))
+			if u != srcs[i] || w != v {
+				t.Errorf("in-edge %d of node %d maps to (%d,%d), want (%d,%d)",
+					i, v, u, w, srcs[i], v)
+			}
+		}
+	}
+}
+
+// TestCSRInvariants checks structural invariants on random graphs:
+// offsets monotone, neighbor lists sorted and deduplicated, in/out arc
+// multisets identical.
+func TestCSRInvariants(t *testing.T) {
+	rng := xrand.New(42)
+	for trial := 0; trial < 30; trial++ {
+		n := int32(1 + rng.Intn(40))
+		m := rng.Intn(200)
+		b := NewBuilder(n, m)
+		for i := 0; i < m; i++ {
+			b.AddEdge(rng.Int31n(n), rng.Int31n(n))
+		}
+		g := b.Build()
+
+		var outArcs, inArcs [][2]int32
+		for u := int32(0); u < n; u++ {
+			nb := g.OutNeighbors(u)
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] >= nb[i] {
+					t.Fatalf("out-neighbors of %d not strictly sorted: %v", u, nb)
+				}
+			}
+			for _, v := range nb {
+				if v == u {
+					t.Fatalf("self-loop (%d,%d) survived", u, v)
+				}
+				outArcs = append(outArcs, [2]int32{u, v})
+			}
+		}
+		for v := int32(0); v < n; v++ {
+			for _, u := range g.InNeighbors(v) {
+				inArcs = append(inArcs, [2]int32{u, v})
+			}
+		}
+		sortArcs := func(a [][2]int32) {
+			sort.Slice(a, func(i, j int) bool {
+				if a[i][0] != a[j][0] {
+					return a[i][0] < a[j][0]
+				}
+				return a[i][1] < a[j][1]
+			})
+		}
+		sortArcs(outArcs)
+		sortArcs(inArcs)
+		if len(outArcs) != len(inArcs) {
+			t.Fatalf("arc count mismatch: out %d vs in %d", len(outArcs), len(inArcs))
+		}
+		for i := range outArcs {
+			if outArcs[i] != inArcs[i] {
+				t.Fatalf("arc multiset mismatch at %d: %v vs %v", i, outArcs[i], inArcs[i])
+			}
+		}
+		if int64(len(outArcs)) != g.NumEdges() {
+			t.Fatalf("NumEdges %d != arcs seen %d", g.NumEdges(), len(outArcs))
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := buildDiamond()
+	s := g.Stats()
+	if s.MaxOut != 2 || s.MaxIn != 2 {
+		t.Errorf("MaxOut/MaxIn = %d/%d, want 2/2", s.MaxOut, s.MaxIn)
+	}
+	if s.ZeroOut != 1 || s.ZeroIn != 1 {
+		t.Errorf("ZeroOut/ZeroIn = %d/%d, want 1/1", s.ZeroOut, s.ZeroIn)
+	}
+	if s.MeanOut != 1.0 {
+		t.Errorf("MeanOut = %f, want 1.0", s.MeanOut)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := xrand.New(7)
+	n := int32(25)
+	b := NewBuilder(n, 100)
+	for i := 0; i < 100; i++ {
+		b.AddEdge(rng.Int31n(n), rng.Int31n(n))
+	}
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip size mismatch: (%d,%d) vs (%d,%d)",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	equal := true
+	g.Edges(func(u, v int32, _ int64) bool {
+		if !g2.HasEdge(u, v) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Fatal("round trip lost edges")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	if _, err := ReadEdgeList(bytes.NewBufferString("0 x\n")); err == nil {
+		t.Error("expected error for non-numeric target")
+	}
+	if _, err := ReadEdgeList(bytes.NewBufferString("justone\n")); err == nil {
+		t.Error("expected error for single-field line")
+	}
+	if _, err := ReadEdgeList(bytes.NewBufferString("# nodes 2 edges 1\n0 5\n")); err == nil {
+		t.Error("expected error for node id exceeding declared count")
+	}
+}
+
+func TestReadEdgeListNoHeader(t *testing.T) {
+	g, err := ReadEdgeList(bytes.NewBufferString("0 1\n1 2\n# comment\n2 0\n"))
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got (%d nodes, %d edges), want (3, 3)", g.NumNodes(), g.NumEdges())
+	}
+}
+
+// Property: HasEdge agrees with membership in OutNeighbors for random pairs.
+func TestHasEdgeProperty(t *testing.T) {
+	rng := xrand.New(99)
+	n := int32(30)
+	b := NewBuilder(n, 150)
+	for i := 0; i < 150; i++ {
+		b.AddEdge(rng.Int31n(n), rng.Int31n(n))
+	}
+	g := b.Build()
+	f := func(u8, v8 uint8) bool {
+		u, v := int32(u8)%n, int32(v8)%n
+		want := false
+		for _, w := range g.OutNeighbors(u) {
+			if w == v {
+				want = true
+				break
+			}
+		}
+		return g.HasEdge(u, v) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestSaveLoadEdgeList(t *testing.T) {
+	rng := xrand.New(1)
+	b := NewBuilder(40, 150)
+	for i := 0; i < 150; i++ {
+		b.AddEdge(rng.Int31n(40), rng.Int31n(40))
+	}
+	g := b.Build()
+
+	path := filepath.Join(t.TempDir(), "graph.txt")
+	if err := SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("file round trip: (%d,%d) vs (%d,%d)",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	g.Edges(func(u, v int32, _ int64) bool {
+		if !g2.HasEdge(u, v) {
+			t.Fatalf("edge (%d,%d) lost", u, v)
+		}
+		return true
+	})
+}
+
+func TestLoadEdgeListMissingFile(t *testing.T) {
+	if _, err := LoadEdgeList(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+// Isolated trailing nodes survive only when the header declares the node
+// count — the property the header exists for.
+func TestHeaderPreservesIsolatedNodes(t *testing.T) {
+	b := NewBuilder(10, 1)
+	b.AddEdge(0, 1) // nodes 2..9 are isolated
+	g := b.Build()
+	path := filepath.Join(t.TempDir(), "iso.txt")
+	if err := SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 10 {
+		t.Errorf("isolated nodes lost: %d nodes, want 10", g2.NumNodes())
+	}
+}

@@ -1,0 +1,197 @@
+package im
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cascade"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+func starGraph(leaves int32) (*graph.Graph, []float32) {
+	b := graph.NewBuilder(leaves+1, int(leaves))
+	for v := int32(1); v <= leaves; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	probs := make([]float32, g.NumEdges())
+	for i := range probs {
+		probs[i] = 0.8
+	}
+	return g, probs
+}
+
+func TestGreedyMCPicksHub(t *testing.T) {
+	g, probs := starGraph(12)
+	res := GreedyMC(g, probs, 1, 2000, 2, xrand.New(1))
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Fatalf("greedy seeds = %v, want [0]", res.Seeds)
+	}
+	// σ({hub}) = 1 + 12·0.8 = 10.6.
+	if math.Abs(res.SpreadEstimate-10.6) > 0.4 {
+		t.Errorf("spread estimate %v, want ≈10.6", res.SpreadEstimate)
+	}
+}
+
+func TestTIMPicksHub(t *testing.T) {
+	g, probs := starGraph(12)
+	res := TIM(g, probs, 1, TIMOptions{Epsilon: 0.2}, xrand.New(2))
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Fatalf("TIM seeds = %v, want [0]", res.Seeds)
+	}
+	if res.Theta <= 0 || res.Kpt < 1 {
+		t.Errorf("TIM bookkeeping: theta=%d kpt=%v", res.Theta, res.Kpt)
+	}
+	if math.Abs(res.SpreadEstimate-10.6) > 0.8 {
+		t.Errorf("TIM spread estimate %v, want ≈10.6", res.SpreadEstimate)
+	}
+}
+
+// TIM's guarantee against brute force on a tiny instance: spread of the
+// TIM seeds ≥ (1 − 1/e − ε)·OPT_k, with exact spreads on both sides.
+func TestTIMApproximationGuarantee(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 4; trial++ {
+		n := int32(7)
+		b := graph.NewBuilder(n, 12)
+		added := 0
+		for added < 12 {
+			u, v := rng.Int31n(n), rng.Int31n(n)
+			if u != v {
+				b.AddEdge(u, v)
+				added++
+			}
+		}
+		g := b.Build()
+		probs := make([]float32, g.NumEdges())
+		for i := range probs {
+			probs[i] = float32(0.2 + 0.5*rng.Float64())
+		}
+		const k = 2
+		res := TIM(g, probs, k, TIMOptions{Epsilon: 0.1}, rng.Split())
+		got := cascade.ExactSpread(g, probs, res.Seeds)
+
+		// Brute-force OPT_2 over all pairs.
+		opt := 0.0
+		for a := int32(0); a < n; a++ {
+			for bn := a + 1; bn < n; bn++ {
+				if s := cascade.ExactSpread(g, probs, []int32{a, bn}); s > opt {
+					opt = s
+				}
+			}
+		}
+		bound := (1 - 1/math.E - 0.1) * opt
+		if got < bound-1e-9 {
+			t.Errorf("trial %d: TIM spread %v below bound %v (OPT %v)", trial, got, bound, opt)
+		}
+	}
+}
+
+// GreedyMC and TIM should land on comparable spreads.
+func TestGreedyMCAndTIMAgree(t *testing.T) {
+	rng := xrand.New(4)
+	g := gen.RMAT(128, 700, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	probs := model.EdgeProbs(topic.Distribution{1})
+	const k = 5
+
+	tim := TIM(g, probs, k, TIMOptions{Epsilon: 0.15}, rng.Split())
+	mc := GreedyMC(g, probs, k, 3000, 2, rng.Split())
+
+	sim := cascade.NewSimulator(g, probs)
+	evalSeed := xrand.New(99)
+	sTIM := sim.Spread(tim.Seeds, 20000, evalSeed)
+	sMC := sim.Spread(mc.Seeds, 20000, xrand.New(99))
+	if math.Abs(sTIM-sMC) > 0.15*math.Max(sTIM, sMC) {
+		t.Errorf("TIM spread %v vs GreedyMC spread %v differ too much", sTIM, sMC)
+	}
+}
+
+func TestSpreadMonotoneInK(t *testing.T) {
+	rng := xrand.New(5)
+	g := gen.RMAT(128, 700, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	probs := model.EdgeProbs(topic.Distribution{1})
+	prev := -1.0
+	for _, k := range []int{1, 3, 6} {
+		res := TIM(g, probs, k, TIMOptions{Epsilon: 0.2}, xrand.New(6))
+		sim := cascade.NewSimulator(g, probs)
+		s := sim.Spread(res.Seeds, 10000, xrand.New(7))
+		if s < prev-0.5 {
+			t.Errorf("spread decreased from %v to %v as k grew to %d", prev, s, k)
+		}
+		prev = s
+	}
+}
+
+func TestTIMEdgeCases(t *testing.T) {
+	g, probs := starGraph(4)
+	if res := TIM(g, probs, 0, TIMOptions{}, xrand.New(8)); len(res.Seeds) != 0 {
+		t.Error("k=0 should return no seeds")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k > n")
+		}
+	}()
+	TIM(g, probs, 100, TIMOptions{}, xrand.New(9))
+}
+
+func TestDegreeHeuristic(t *testing.T) {
+	g, _ := starGraph(5)
+	seeds := Degree(g, 2)
+	if seeds[0] != 0 {
+		t.Errorf("degree heuristic first seed = %d, want hub 0", seeds[0])
+	}
+	if len(seeds) != 2 {
+		t.Errorf("got %d seeds, want 2", len(seeds))
+	}
+	// Distinctness.
+	if seeds[0] == seeds[1] {
+		t.Error("duplicate seeds")
+	}
+}
+
+func TestSingleDiscount(t *testing.T) {
+	// Two hubs with overlapping audiences: 0 -> {2,3,4}, 1 -> {3,4,5},
+	// 6 -> {7,8}. After picking 0, node 1's discounted degree is 1 (only
+	// 5 remains un-discounted... degree 3 minus discounts for 3,4) = 1,
+	// while 6 keeps degree 2 — SingleDiscount picks 6, Degree picks 1.
+	b := graph.NewBuilder(9, 8)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 4)
+	b.AddEdge(1, 3)
+	b.AddEdge(1, 4)
+	b.AddEdge(1, 5)
+	b.AddEdge(6, 7)
+	b.AddEdge(6, 8)
+	g := b.Build()
+	sd := SingleDiscount(g, 2)
+	if sd[0] != 0 && sd[0] != 1 {
+		t.Fatalf("first seed = %d, want a hub", sd[0])
+	}
+	if sd[1] != 6 {
+		t.Errorf("second seed = %d, want 6 (discounted overlap)", sd[1])
+	}
+	deg := Degree(g, 2)
+	if deg[1] == 6 {
+		t.Error("plain degree should not pick 6 second")
+	}
+}
+
+func TestGreedyMCDeterministic(t *testing.T) {
+	g := gen.RMAT(64, 300, gen.DefaultRMAT, xrand.New(10))
+	model := topic.NewWeightedCascade(g)
+	probs := model.EdgeProbs(topic.Distribution{1})
+	a := GreedyMC(g, probs, 3, 1000, 2, xrand.New(11))
+	b := GreedyMC(g, probs, 3, 1000, 2, xrand.New(11))
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatal("GreedyMC not deterministic under fixed seed")
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package learn estimates independent-cascade influence probabilities
+// from observed propagation logs. The paper's FLIXSTER probabilities were
+// "learned using MLE for the TIC model" (Barbieri et al., ICDM 2012);
+// this package implements the single-topic core of that pipeline — the
+// expectation-maximization estimator of Saito et al. (KES 2008) for the
+// discrete-time IC model — together with an episode simulator used to
+// validate recovery on synthetic ground truth.
+//
+// Discrete-time IC semantics: when u activates at time t it gets exactly
+// one chance to activate each out-neighbor v, which succeeds with
+// probability p_{u,v}; successful activations materialize at time t+1.
+// An episode records who activated when. For an edge (u, v):
+//
+//   - a *trial* occurs in an episode when u activates at some time t and
+//     v is not active at time ≤ t (u's one chance fires);
+//   - the trial is a *potential success* when v activates at exactly t+1
+//     (shared with all other parents active at t — the EM E-step splits
+//     the credit), and a *failure* otherwise.
+package learn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Activation is one (node, time) event in an episode.
+type Activation struct {
+	Node int32
+	Time int32
+}
+
+// Episode is a single observed cascade, sorted by time.
+type Episode []Activation
+
+// SimulateEpisodes generates cascades from a known IC instance with
+// discrete time steps: each episode seeds `seedsPerEpisode` uniformly
+// random distinct nodes at time 0 and plays the cascade out. Used to
+// produce ground-truth training data.
+func SimulateEpisodes(g *graph.Graph, probs []float32, episodes, seedsPerEpisode int, rng *xrand.RNG) []Episode {
+	if int64(len(probs)) != g.NumEdges() {
+		panic(fmt.Sprintf("learn: %d probs for %d edges", len(probs), g.NumEdges()))
+	}
+	n := g.NumNodes()
+	if seedsPerEpisode < 1 || int32(seedsPerEpisode) > n {
+		panic("learn: seedsPerEpisode out of range")
+	}
+	out := make([]Episode, 0, episodes)
+	activeAt := make([]int32, n)
+	for e := 0; e < episodes; e++ {
+		for i := range activeAt {
+			activeAt[i] = -1
+		}
+		var ep Episode
+		var frontier []int32
+		for len(frontier) < seedsPerEpisode {
+			u := rng.Int31n(n)
+			if activeAt[u] < 0 {
+				activeAt[u] = 0
+				frontier = append(frontier, u)
+				ep = append(ep, Activation{Node: u, Time: 0})
+			}
+		}
+		for t := int32(0); len(frontier) > 0; t++ {
+			var next []int32
+			for _, u := range frontier {
+				lo, _ := g.OutEdgeRange(u)
+				for i, v := range g.OutNeighbors(u) {
+					if activeAt[v] >= 0 {
+						continue
+					}
+					p := probs[lo+int64(i)]
+					if p > 0 && rng.Float64() < float64(p) {
+						activeAt[v] = t + 1
+						next = append(next, v)
+						ep = append(ep, Activation{Node: v, Time: t + 1})
+					}
+				}
+			}
+			frontier = next
+		}
+		out = append(out, ep)
+	}
+	return out
+}
+
+// Options tunes the EM estimator.
+type Options struct {
+	// Iterations is the number of EM rounds (default 20).
+	Iterations int
+	// InitProb initializes every edge probability (default 0.1).
+	InitProb float64
+	// MinTrials leaves edges with fewer trials at InitProb — their MLE is
+	// unreliable (default 1: estimate everything with at least one trial).
+	MinTrials int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 20
+	}
+	if o.InitProb == 0 {
+		o.InitProb = 0.1
+	}
+	if o.MinTrials == 0 {
+		o.MinTrials = 1
+	}
+	return o
+}
+
+// edgeEvidence aggregates an edge's training signal: the number of failed
+// trials, and the list of success events (each shared with the other
+// co-parents of the activation, resolved by the E-step).
+type edgeEvidence struct {
+	trials   int
+	failures int
+	// successEvents indexes into the estimator's event table.
+	successEvents []int32
+}
+
+// estimator carries the preprocessed evidence for EM.
+type estimator struct {
+	g *graph.Graph
+	// evidence per canonical edge ID.
+	evidence []edgeEvidence
+	// events[k] lists the edges participating in activation event k (all
+	// parents active at t−1 of a node activating at t).
+	events [][]int32
+}
+
+// preprocess scans the episodes once, building per-edge trial/failure
+// counts and the shared success events.
+func preprocess(g *graph.Graph, eps []Episode) *estimator {
+	est := &estimator{g: g, evidence: make([]edgeEvidence, g.NumEdges())}
+	activeAt := make(map[int32]int32)
+	for _, ep := range eps {
+		for k := range activeAt {
+			delete(activeAt, k)
+		}
+		sorted := append(Episode(nil), ep...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+		for _, a := range sorted {
+			activeAt[a.Node] = a.Time
+		}
+		for _, a := range sorted {
+			u, tu := a.Node, a.Time
+			lo, _ := g.OutEdgeRange(u)
+			for i, v := range g.OutNeighbors(u) {
+				tv, active := activeAt[v]
+				if active && tv <= tu {
+					continue // v was already active: no trial
+				}
+				e := int32(lo + int64(i))
+				est.evidence[e].trials++
+				if !active || tv > tu+1 {
+					est.evidence[e].failures++
+					continue
+				}
+				// Success event at (episode, v, tu+1): find or create the
+				// event for this activation. Events are built per episode
+				// pass, keyed by position in a scratch map.
+				est.evidence[e].successEvents = append(est.evidence[e].successEvents, -1)
+			}
+		}
+		// Second pass per episode to group co-parents: rebuild events for
+		// each activation with time > 0.
+		for _, a := range sorted {
+			v, tv := a.Node, a.Time
+			if tv == 0 {
+				continue
+			}
+			var parents []int32
+			for i, u := range g.InNeighbors(v) {
+				if tu, ok := activeAt[u]; ok && tu == tv-1 {
+					parents = append(parents, g.InEdgeIDs(v)[i])
+				}
+			}
+			if len(parents) == 0 {
+				continue // spontaneous activation (seed-like); no evidence
+			}
+			eventID := int32(len(est.events))
+			est.events = append(est.events, parents)
+			for _, e := range parents {
+				ev := &est.evidence[e]
+				// Replace one placeholder success with the event ID.
+				for k := len(ev.successEvents) - 1; k >= 0; k-- {
+					if ev.successEvents[k] == -1 {
+						ev.successEvents[k] = eventID
+						break
+					}
+				}
+			}
+		}
+	}
+	return est
+}
+
+// EstimateIC learns edge probabilities from episodes via EM. Edges with
+// fewer than MinTrials trials keep InitProb.
+func EstimateIC(g *graph.Graph, eps []Episode, opt Options) []float32 {
+	opt = opt.withDefaults()
+	est := preprocess(g, eps)
+	p := make([]float64, g.NumEdges())
+	for i := range p {
+		p[i] = opt.InitProb
+	}
+	for iter := 0; iter < opt.Iterations; iter++ {
+		// E-step: event probabilities P = 1 − Π (1−p_parent).
+		eventP := make([]float64, len(est.events))
+		for k, parents := range est.events {
+			q := 1.0
+			for _, e := range parents {
+				q *= 1 - p[e]
+			}
+			eventP[k] = 1 - q
+		}
+		// M-step: p'_e = (Σ_{success events} p_e/P_event) / trials_e.
+		for e := range p {
+			ev := &est.evidence[e]
+			if ev.trials < opt.MinTrials {
+				continue
+			}
+			var frac float64
+			for _, k := range ev.successEvents {
+				if k < 0 {
+					continue
+				}
+				if eventP[k] > 1e-12 {
+					frac += p[e] / eventP[k]
+				}
+			}
+			p[e] = frac / float64(ev.trials)
+			if p[e] > 1 {
+				p[e] = 1
+			}
+		}
+	}
+	out := make([]float32, len(p))
+	for i := range p {
+		out[i] = float32(p[i])
+	}
+	return out
+}
+
+// LogLikelihood computes the discrete-time IC log-likelihood of the
+// episodes under the given edge probabilities (clamped away from 0/1 for
+// numerical safety). Useful to verify that EM improves fit.
+func LogLikelihood(g *graph.Graph, probs []float32, eps []Episode) float64 {
+	est := preprocess(g, eps)
+	clamp := func(x float64) float64 {
+		return math.Min(math.Max(x, 1e-9), 1-1e-9)
+	}
+	var ll float64
+	for e := range est.evidence {
+		pe := clamp(float64(probs[e]))
+		ll += float64(est.evidence[e].failures) * math.Log(1-pe)
+	}
+	for _, parents := range est.events {
+		q := 1.0
+		for _, e := range parents {
+			q *= 1 - clamp(float64(probs[e]))
+		}
+		ll += math.Log(clamp(1 - q))
+	}
+	return ll
+}
+
+// Trials returns the number of trials observed for every edge — useful to
+// assess which estimates are trustworthy.
+func Trials(g *graph.Graph, eps []Episode) []int {
+	est := preprocess(g, eps)
+	out := make([]int, len(est.evidence))
+	for e := range est.evidence {
+		out[e] = est.evidence[e].trials
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestTrialsHandBuilt(t *testing.T) {
+	// Graph 0 -> 1 -> 2. Episode: 0 at t=0, 1 at t=1, 2 never.
+	b := graph.NewBuilder(3, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	ep := Episode{{Node: 0, Time: 0}, {Node: 1, Time: 1}}
+	trials := Trials(g, []Episode{ep})
+	// Edge (0,1): one trial (success). Edge (1,2): one trial (failure).
+	if trials[0] != 1 || trials[1] != 1 {
+		t.Errorf("trials = %v, want [1 1]", trials)
+	}
+	// Episode where 1 is already a seed: edge (0,1) has no trial.
+	ep2 := Episode{{Node: 0, Time: 0}, {Node: 1, Time: 0}}
+	trials2 := Trials(g, []Episode{ep2})
+	if trials2[0] != 0 {
+		t.Errorf("edge (0,1) should have no trial when both are seeds: %v", trials2)
+	}
+	if trials2[1] != 1 {
+		t.Errorf("edge (1,2) should have a trial from seed 1: %v", trials2)
+	}
+}
+
+// EM recovers a uniform ground-truth probability from enough synthetic
+// episodes.
+func TestEstimateICRecovery(t *testing.T) {
+	rng := xrand.New(1)
+	g := gen.ErdosRenyi(60, 300, rng)
+	truth := make([]float32, g.NumEdges())
+	for i := range truth {
+		truth[i] = 0.3
+	}
+	eps := SimulateEpisodes(g, truth, 4000, 3, rng.Split())
+	learned := EstimateIC(g, eps, Options{Iterations: 25, InitProb: 0.05, MinTrials: 30})
+	trials := Trials(g, eps)
+
+	var sumErr float64
+	counted := 0
+	for e := range learned {
+		if trials[e] < 200 {
+			continue // not enough signal on this edge
+		}
+		sumErr += math.Abs(float64(learned[e]) - 0.3)
+		counted++
+	}
+	if counted < 10 {
+		t.Fatalf("too few well-observed edges (%d) to assess recovery", counted)
+	}
+	mae := sumErr / float64(counted)
+	if mae > 0.05 {
+		t.Errorf("mean absolute error %.3f too large on well-observed edges", mae)
+	}
+}
+
+// EM recovers heterogeneous probabilities (two classes of edges).
+func TestEstimateICHeterogeneous(t *testing.T) {
+	rng := xrand.New(2)
+	g := gen.ErdosRenyi(50, 250, rng)
+	truth := make([]float32, g.NumEdges())
+	for i := range truth {
+		if i%2 == 0 {
+			truth[i] = 0.6
+		} else {
+			truth[i] = 0.1
+		}
+	}
+	eps := SimulateEpisodes(g, truth, 5000, 3, rng.Split())
+	learned := EstimateIC(g, eps, Options{Iterations: 25, InitProb: 0.3, MinTrials: 30})
+	trials := Trials(g, eps)
+
+	var hi, lo, hiN, loN float64
+	for e := range learned {
+		if trials[e] < 200 {
+			continue
+		}
+		if e%2 == 0 {
+			hi += float64(learned[e])
+			hiN++
+		} else {
+			lo += float64(learned[e])
+			loN++
+		}
+	}
+	if hiN < 5 || loN < 5 {
+		t.Skip("not enough well-observed edges in both classes")
+	}
+	if hi/hiN < lo/loN+0.2 {
+		t.Errorf("failed to separate classes: high %.3f vs low %.3f", hi/hiN, lo/loN)
+	}
+}
+
+// More EM iterations cannot decrease the training log-likelihood.
+func TestEMImprovesLikelihood(t *testing.T) {
+	rng := xrand.New(3)
+	g := gen.ErdosRenyi(40, 200, rng)
+	truth := make([]float32, g.NumEdges())
+	for i := range truth {
+		truth[i] = 0.4
+	}
+	eps := SimulateEpisodes(g, truth, 800, 2, rng.Split())
+	init := make([]float32, g.NumEdges())
+	for i := range init {
+		init[i] = 0.1
+	}
+	ll0 := LogLikelihood(g, init, eps)
+	p1 := EstimateIC(g, eps, Options{Iterations: 1, InitProb: 0.1})
+	ll1 := LogLikelihood(g, p1, eps)
+	p20 := EstimateIC(g, eps, Options{Iterations: 20, InitProb: 0.1})
+	ll20 := LogLikelihood(g, p20, eps)
+	if ll1 < ll0 {
+		t.Errorf("one EM step decreased LL: %v -> %v", ll0, ll1)
+	}
+	if ll20 < ll1-1e-6 {
+		t.Errorf("more EM steps decreased LL: %v -> %v", ll1, ll20)
+	}
+}
+
+func TestMinTrialsKeepsInit(t *testing.T) {
+	// A graph where one edge never gets a trial: 0 -> 1, 2 -> 3; episodes
+	// only ever seed node 0.
+	b := graph.NewBuilder(4, 2)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	eps := []Episode{{{Node: 0, Time: 0}, {Node: 1, Time: 1}}}
+	learned := EstimateIC(g, eps, Options{Iterations: 5, InitProb: 0.123})
+	// Edge (2,3) has no trials: stays at init.
+	if math.Abs(float64(learned[1])-0.123) > 1e-6 {
+		t.Errorf("untrained edge moved from init: %v", learned[1])
+	}
+	// Edge (0,1) has 1 trial, 1 success: MLE -> 1.
+	if learned[0] < 0.9 {
+		t.Errorf("trained edge should approach 1, got %v", learned[0])
+	}
+}
+
+func TestSimulateEpisodesStructure(t *testing.T) {
+	rng := xrand.New(4)
+	g := gen.ErdosRenyi(20, 60, rng)
+	probs := make([]float32, g.NumEdges())
+	for i := range probs {
+		probs[i] = 0.5
+	}
+	eps := SimulateEpisodes(g, probs, 50, 2, rng.Split())
+	if len(eps) != 50 {
+		t.Fatalf("got %d episodes, want 50", len(eps))
+	}
+	for _, ep := range eps {
+		seeds := 0
+		seen := map[int32]bool{}
+		for _, a := range ep {
+			if a.Time == 0 {
+				seeds++
+			}
+			if seen[a.Node] {
+				t.Fatal("node activated twice in one episode")
+			}
+			seen[a.Node] = true
+		}
+		if seeds != 2 {
+			t.Fatalf("episode has %d seeds, want 2", seeds)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package rrset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+// Property: after any sequence of CoverBy operations, every node's
+// covCount equals the number of live (uncovered) sets containing it, and
+// NumCovered equals the count of tombstoned sets.
+func TestCollectionCoverageInvariant(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		rng := xrand.New(seed)
+		const n = 20
+		c := NewCollection(n)
+		numSets := 5 + rng.Intn(30)
+		for i := 0; i < numSets; i++ {
+			size := 1 + rng.Intn(4)
+			seen := map[int32]bool{}
+			var set []int32
+			for len(set) < size {
+				v := rng.Int31n(n)
+				if !seen[v] {
+					seen[v] = true
+					set = append(set, v)
+				}
+			}
+			c.Add(set)
+		}
+		for _, op := range ops {
+			c.CoverBy(int32(op) % n)
+		}
+		// Recompute ground truth from scratch.
+		covered := 0
+		truth := make([]int32, n)
+		for id := int32(0); id < int32(c.Size()); id++ {
+			if c.IsCovered(id) {
+				covered++
+				continue
+			}
+			for _, v := range c.Set(id) {
+				truth[v]++
+			}
+		}
+		if covered != c.NumCovered() {
+			return false
+		}
+		for v := int32(0); v < n; v++ {
+			if truth[v] != c.CovCount(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a View and a Collection fed the same sets and the same
+// CoverBy sequence remain indistinguishable.
+func TestViewCollectionEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, ops []uint8) bool {
+		rng := xrand.New(seed)
+		const n = 15
+		u := NewUniverse(n)
+		c := NewCollection(n)
+		numSets := 3 + rng.Intn(20)
+		for i := 0; i < numSets; i++ {
+			size := 1 + rng.Intn(4)
+			seen := map[int32]bool{}
+			var set []int32
+			for len(set) < size {
+				v := rng.Int31n(n)
+				if !seen[v] {
+					seen[v] = true
+					set = append(set, v)
+				}
+			}
+			u.Add(append([]int32(nil), set...))
+			c.Add(append([]int32(nil), set...))
+		}
+		v := NewView(u)
+		for _, op := range ops {
+			node := int32(op) % n
+			if v.CoverBy(node) != c.CoverBy(node) {
+				return false
+			}
+		}
+		if v.NumCovered() != c.NumCovered() || v.Size() != c.Size() {
+			return false
+		}
+		for node := int32(0); node < n; node++ {
+			if v.CovCount(node) != c.CovCount(node) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: spread estimates are scale-consistent — doubling the sample
+// cannot change CoverageOf proportions beyond sampling noise, and
+// SpreadEstimate of the full node set equals n × fraction of non-empty
+// sets (every set contains some node).
+func TestSpreadEstimateFullSet(t *testing.T) {
+	rng := xrand.New(9)
+	const n = 12
+	c := NewCollection(n)
+	for i := 0; i < 200; i++ {
+		c.Add([]int32{rng.Int31n(n)})
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	if got := c.SpreadEstimate(all); got != n {
+		t.Errorf("full-set spread estimate = %v, want %v", got, n)
+	}
+}

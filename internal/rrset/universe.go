@@ -1,0 +1,165 @@
+package rrset
+
+// CoverageState is the coverage-bookkeeping interface the allocation
+// engine works against. Collection implements it with exclusive storage;
+// View implements it on top of a shared Universe, addressing the paper's
+// future-work item (i) — making TI-CSRM more memory efficient — for ads
+// with identical topic distributions (the paper's pure-competition pairs),
+// whose RR-set distributions coincide and whose samples can therefore be
+// shared.
+type CoverageState interface {
+	// CovCount returns the marginal coverage of node v.
+	CovCount(v int32) int32
+	// CoverBy tombstones all live sets containing v; returns how many.
+	CoverBy(v int32) int
+	// NumCovered returns the number of covered sets.
+	NumCovered() int
+	// Size returns θ, the total sets visible to this state.
+	Size() int
+	// MaxCovCount returns the eligible node with maximum marginal
+	// coverage.
+	MaxCovCount(eligible func(v int32) bool) (node int32, count int32)
+	// MemoryFootprint estimates this state's own heap bytes.
+	MemoryFootprint() int64
+}
+
+var (
+	_ CoverageState = (*Collection)(nil)
+	_ CoverageState = (*View)(nil)
+)
+
+// Universe is an append-only store of RR sets with an inverted index,
+// shareable by multiple Views. Set IDs are assigned in insertion order,
+// so per-node index lists are ascending — Views exploit this to ignore
+// sets beyond their synced prefix.
+type Universe struct {
+	n        int32
+	sets     [][]int32
+	nodeSets [][]int32
+}
+
+// NewUniverse creates an empty universe over n nodes.
+func NewUniverse(n int32) *Universe {
+	return &Universe{n: n, nodeSets: make([][]int32, n)}
+}
+
+// Add appends one RR set, taking ownership of the slice.
+func (u *Universe) Add(set []int32) {
+	id := int32(len(u.sets))
+	u.sets = append(u.sets, set)
+	for _, v := range set {
+		u.nodeSets[v] = append(u.nodeSets[v], id)
+	}
+}
+
+// AddFrom samples count RR sets into the universe.
+func (u *Universe) AddFrom(s *Sampler, count int) {
+	for i := 0; i < count; i++ {
+		set, _ := s.Sample()
+		u.Add(set)
+	}
+}
+
+// Size returns the number of stored sets.
+func (u *Universe) Size() int { return len(u.sets) }
+
+// MemoryFootprint estimates the universe's heap bytes (sets + index).
+func (u *Universe) MemoryFootprint() int64 {
+	var total int64
+	for _, s := range u.sets {
+		total += int64(cap(s)) * 4
+	}
+	for _, ns := range u.nodeSets {
+		total += int64(cap(ns)) * 4
+	}
+	return total
+}
+
+// View is one advertiser's coverage state over a shared Universe prefix.
+// A View sees exactly the first `synced` sets; Sync extends the prefix
+// after the universe has grown.
+type View struct {
+	u        *Universe
+	covered  []bool
+	covCount []int32
+	nCovered int
+	synced   int
+}
+
+// NewView creates a view over the universe's current contents.
+func NewView(u *Universe) *View {
+	v := &View{u: u, covCount: make([]int32, u.n)}
+	v.Sync()
+	return v
+}
+
+// Sync integrates sets added to the universe since the last sync and
+// returns how many were integrated. New sets start uncovered, so every
+// member node's marginal coverage grows.
+func (v *View) Sync() int {
+	added := 0
+	for id := v.synced; id < v.u.Size(); id++ {
+		v.covered = append(v.covered, false)
+		for _, x := range v.u.sets[id] {
+			v.covCount[x]++
+		}
+		added++
+	}
+	v.synced = v.u.Size()
+	return added
+}
+
+// CovCount implements CoverageState.
+func (v *View) CovCount(node int32) int32 { return v.covCount[node] }
+
+// CoverBy implements CoverageState.
+func (v *View) CoverBy(node int32) int {
+	newly := 0
+	for _, id := range v.u.nodeSets[node] {
+		if int(id) >= v.synced {
+			break // ascending IDs: the rest are beyond this view's prefix
+		}
+		if v.covered[id] {
+			continue
+		}
+		v.covered[id] = true
+		newly++
+		for _, x := range v.u.sets[id] {
+			v.covCount[x]--
+		}
+	}
+	v.nCovered += newly
+	return newly
+}
+
+// NumCovered implements CoverageState.
+func (v *View) NumCovered() int { return v.nCovered }
+
+// Size implements CoverageState: the synced prefix length is this view's θ.
+func (v *View) Size() int { return v.synced }
+
+// MaxCovCount implements CoverageState.
+func (v *View) MaxCovCount(eligible func(int32) bool) (node int32, count int32) {
+	node = -1
+	for x := int32(0); x < v.u.n; x++ {
+		if eligible != nil && !eligible(x) {
+			continue
+		}
+		if v.covCount[x] > count {
+			count = v.covCount[x]
+			node = x
+		} else if node < 0 {
+			node = x
+		}
+	}
+	if node < 0 {
+		return -1, 0
+	}
+	return node, v.covCount[node]
+}
+
+// MemoryFootprint implements CoverageState: only the view's own state —
+// the shared universe is accounted once by its owner.
+func (v *View) MemoryFootprint() int64 {
+	return int64(cap(v.covered)) + int64(cap(v.covCount))*4
+}

@@ -1,0 +1,94 @@
+package topic
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// Ad describes one advertiser's campaign: the paper assumes one ad per
+// advertiser per time window, so Ad and advertiser are interchangeable.
+type Ad struct {
+	// ID is the advertiser index i ∈ [h].
+	ID int
+	// Gamma is the ad's distribution over the latent topic space.
+	Gamma Distribution
+	// CPE is the cost-per-engagement amount cpe(i) the advertiser pays the
+	// host for each click.
+	CPE float64
+	// Budget is the campaign budget B_i.
+	Budget float64
+}
+
+// Validate checks the ad's fields for consistency with an L-topic model.
+func (a Ad) Validate(l int) error {
+	if len(a.Gamma) != l {
+		return fmt.Errorf("topic: ad %d has %d-topic gamma, model has %d", a.ID, len(a.Gamma), l)
+	}
+	if err := a.Gamma.Validate(); err != nil {
+		return fmt.Errorf("topic: ad %d: %w", a.ID, err)
+	}
+	if a.CPE <= 0 {
+		return fmt.Errorf("topic: ad %d has non-positive cpe %v", a.ID, a.CPE)
+	}
+	if a.Budget <= 0 {
+		return fmt.Errorf("topic: ad %d has non-positive budget %v", a.ID, a.Budget)
+	}
+	return nil
+}
+
+// CompetingAds builds h ads following the paper's §5 setup: ads are paired
+// and every pair shares a peaked topic distribution (0.91 on one topic,
+// 0.01 on each other for L=10), so paired ads are in pure competition while
+// distinct pairs target different topics. For L=1 all ads share the single
+// topic and the marketplace is fully competitive (the EPINIONS setting).
+// CPEs and budgets are left zero; use AssignBudgets.
+func CompetingAds(h, l int, rng *xrand.RNG) []Ad {
+	if h < 1 {
+		panic("topic: CompetingAds needs h >= 1")
+	}
+	ads := make([]Ad, h)
+	perm := rng.Perm(l) // random topic assignment order for the pairs
+	for i := 0; i < h; i++ {
+		z := perm[(i/2)%l]
+		ads[i] = Ad{ID: i, Gamma: Peaked(l, z, 0.91)}
+	}
+	return ads
+}
+
+// BudgetParams configures random budget and CPE synthesis, mirroring the
+// ranges reported in Table 2 of the paper.
+type BudgetParams struct {
+	MinBudget, MaxBudget float64
+	MinCPE, MaxCPE       float64
+}
+
+// FlixsterBudgets reproduces Table 2's FLIXSTER row: budgets in [6K, 20K],
+// CPE in [1, 2].
+func FlixsterBudgets() BudgetParams {
+	return BudgetParams{MinBudget: 6000, MaxBudget: 20000, MinCPE: 1, MaxCPE: 2}
+}
+
+// EpinionsBudgets reproduces Table 2's EPINIONS row: budgets in [6K, 12K],
+// CPE in [1, 2].
+func EpinionsBudgets() BudgetParams {
+	return BudgetParams{MinBudget: 6000, MaxBudget: 12000, MinCPE: 1, MaxCPE: 2}
+}
+
+// AssignBudgets draws budgets and CPEs for the ads uniformly from the
+// configured ranges.
+func AssignBudgets(ads []Ad, p BudgetParams, rng *xrand.RNG) {
+	for i := range ads {
+		ads[i].Budget = rng.Uniform(p.MinBudget, p.MaxBudget)
+		ads[i].CPE = rng.Uniform(p.MinCPE, p.MaxCPE)
+	}
+}
+
+// UniformBudgets assigns every ad the same budget and CPE (the paper's
+// scalability experiments fix cpe=1 and a single budget for all ads).
+func UniformBudgets(ads []Ad, budget, cpe float64) {
+	for i := range ads {
+		ads[i].Budget = budget
+		ads[i].CPE = cpe
+	}
+}

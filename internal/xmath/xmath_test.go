@@ -1,0 +1,129 @@
+package xmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogChooseSmall(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 0},
+		{5, 5, 0},
+		{5, 1, math.Log(5)},
+		{5, 2, math.Log(10)},
+		{10, 3, math.Log(120)},
+		{52, 5, math.Log(2598960)},
+	}
+	for _, c := range cases {
+		got := LogChoose(c.n, c.k)
+		if !AlmostEqual(got, c.want, 1e-9) {
+			t.Errorf("LogChoose(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestLogChooseSymmetry(t *testing.T) {
+	f := func(n16, k16 uint16) bool {
+		n := int(n16%500) + 1
+		k := int(k16) % (n + 1)
+		return AlmostEqual(LogChoose(n, k), LogChoose(n, n-k), 1e-8)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pascal's rule: C(n,k) = C(n-1,k-1) + C(n-1,k), verified in log space.
+func TestLogChoosePascal(t *testing.T) {
+	for n := 2; n <= 60; n++ {
+		for k := 1; k < n; k++ {
+			lhs := math.Exp(LogChoose(n, k))
+			rhs := math.Exp(LogChoose(n-1, k-1)) + math.Exp(LogChoose(n-1, k))
+			if !AlmostEqual(lhs, rhs, 1e-9) {
+				t.Fatalf("Pascal fails at n=%d k=%d: %v vs %v", n, k, lhs, rhs)
+			}
+		}
+	}
+}
+
+func TestLogChoosePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative n")
+		}
+	}()
+	LogChoose(-1, 0)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-5, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt misbehaves")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-12, 1e-9) {
+		t.Error("tiny absolute difference should compare equal")
+	}
+	if !AlmostEqual(1e12, 1e12*(1+1e-10), 1e-9) {
+		t.Error("tiny relative difference should compare equal")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Error("1 and 2 are not almost equal")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1) {
+		t.Error("NaN must not compare equal")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
+		t.Errorf("Summarize basic fields wrong: %+v", s)
+	}
+	if !AlmostEqual(s.Mean, 2.5, 1e-12) || !AlmostEqual(s.Median, 2.5, 1e-12) {
+		t.Errorf("mean/median wrong: %+v", s)
+	}
+	odd := Summarize([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Errorf("odd median = %v, want 2", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Sum != 0 {
+		t.Errorf("empty summary should be zero: %+v", empty)
+	}
+}
+
+func TestSummarizeStddev(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !AlmostEqual(s.Stddev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("Stddev = %v, want %v", s.Stddev, math.Sqrt(32.0/7.0))
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("percentile endpoints wrong")
+	}
+	if !AlmostEqual(Percentile(xs, 50), 3, 1e-12) {
+		t.Error("median percentile wrong")
+	}
+	if !AlmostEqual(Percentile(xs, 25), 2, 1e-12) {
+		t.Error("q1 percentile wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty slice")
+		}
+	}()
+	Percentile(nil, 50)
+}

@@ -1,0 +1,211 @@
+// Package repro is a from-scratch Go reproduction of "Revenue Maximization
+// in Incentivized Social Advertising" (Aslay, Bonchi, Lakshmanan, Lu —
+// VLDB 2017, arXiv:1612.00531).
+//
+// A social platform (the host) runs advertising campaigns for h
+// advertisers. It selects disjoint seed sets of influential users per ad,
+// pays each seed an incentive proportional to her topic-specific influence,
+// and earns a fixed cost-per-engagement for every user the resulting
+// cascades reach — all within each advertiser's budget. The host's
+// revenue-maximization problem is monotone submodular maximization under a
+// partition matroid plus per-advertiser submodular knapsacks.
+//
+// This facade re-exports the library's public surface:
+//
+//   - Problem construction: dataset presets (gen), topic-aware propagation
+//     models (topic), incentive models (incentive);
+//   - Algorithms: the reference CA-GREEDY/CS-GREEDY, the scalable TI-CARM
+//     and TI-CSRM, and the PageRank baselines;
+//   - Evaluation: an independent Monte-Carlo scorer plus the experiment
+//     drivers that regenerate every table and figure of the paper.
+//
+// Quickstart:
+//
+//	w, _ := repro.NewWorkbench("flixster", repro.Params{Scale: repro.ScaleTiny, H: 4})
+//	p := w.Problem(repro.Linear, 0.2)
+//	alloc, stats, _ := repro.TICSRM(p, repro.Options{Epsilon: 0.3})
+//	ev := repro.EvaluateMC(p, alloc, 2000, 2, 1)
+//	fmt.Println("revenue:", ev.TotalRevenue(), "in", stats.Duration)
+package repro
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/incentive"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// Core problem and algorithm types.
+type (
+	// Problem is an instance of the revenue-maximization problem.
+	Problem = core.Problem
+	// Allocation is a feasible seeds-to-ads assignment with accounting.
+	Allocation = core.Allocation
+	// Options configures the scalable engine.
+	Options = core.Options
+	// Stats reports engine work (θ per ad, memory, duration).
+	Stats = core.Stats
+	// Evaluation is an independent Monte-Carlo score of an allocation.
+	Evaluation = core.Evaluation
+	// SpreadOracle abstracts σ_i(S) access for the reference algorithms.
+	SpreadOracle = core.SpreadOracle
+)
+
+// Substrate types.
+type (
+	// Graph is the immutable CSR social graph.
+	Graph = graph.Graph
+	// GraphBuilder accumulates arcs for a Graph.
+	GraphBuilder = graph.Builder
+	// TopicModel holds per-topic arc probabilities (TIC).
+	TopicModel = topic.Model
+	// Ad describes one advertiser's campaign.
+	Ad = topic.Ad
+	// Distribution is a distribution over latent topics.
+	Distribution = topic.Distribution
+	// IncentiveTable holds per-node seed incentives for one ad.
+	IncentiveTable = incentive.Table
+	// IncentiveKind selects one of the paper's four incentive models.
+	IncentiveKind = incentive.Kind
+	// Dataset is a generated dataset preset with metadata.
+	Dataset = gen.Dataset
+	// Scale shrinks dataset presets for development machines.
+	Scale = gen.Scale
+	// RNG is the library's deterministic random number generator.
+	RNG = xrand.RNG
+)
+
+// Harness types.
+type (
+	// Params carries experiment-harness knobs.
+	Params = eval.Params
+	// Workbench holds the fixed part of an experiment sweep.
+	Workbench = eval.Workbench
+	// Algorithm identifies a compared algorithm.
+	Algorithm = eval.Algorithm
+	// RunResult is one evaluated algorithm run.
+	RunResult = eval.RunResult
+	// Table is a rendered experiment artifact.
+	Table = eval.Table
+)
+
+// Incentive model kinds (Section 5).
+const (
+	Linear      = incentive.Linear
+	Constant    = incentive.Constant
+	Sublinear   = incentive.Sublinear
+	Superlinear = incentive.Superlinear
+)
+
+// Dataset scales.
+const (
+	ScaleTiny   = gen.ScaleTiny
+	ScaleSmall  = gen.ScaleSmall
+	ScaleMedium = gen.ScaleMedium
+	ScaleFull   = gen.ScaleFull
+)
+
+// Engine modes.
+const (
+	ModeCostAgnostic  = core.ModeCostAgnostic
+	ModeCostSensitive = core.ModeCostSensitive
+	ModePRGreedy      = core.ModePRGreedy
+	ModePRRoundRobin  = core.ModePRRoundRobin
+)
+
+// Harness algorithms.
+const (
+	AlgTICSRM     = eval.AlgTICSRM
+	AlgTICARM     = eval.AlgTICARM
+	AlgPageRankGR = eval.AlgPageRankGR
+	AlgPageRankRR = eval.AlgPageRankRR
+	AlgHighDegree = eval.AlgHighDegree
+	AlgRandom     = eval.AlgRandom
+)
+
+// NewRNG returns a deterministic RNG for the given seed.
+func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
+
+// NewWorkbench builds the fixed part of an experiment sweep for a dataset
+// preset ("flixster", "epinions", "dblp", "livejournal").
+func NewWorkbench(dataset string, params Params) (*Workbench, error) {
+	return eval.NewWorkbench(dataset, params)
+}
+
+// TICSRM runs the scalable cost-sensitive algorithm (the paper's winner).
+func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	return core.TICSRM(p, opt)
+}
+
+// TICARM runs the scalable cost-agnostic algorithm.
+func TICARM(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	return core.TICARM(p, opt)
+}
+
+// PageRankGR runs the PageRank + greedy-assignment baseline.
+func PageRankGR(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	return baseline.PageRankGR(p, opt)
+}
+
+// PageRankRR runs the PageRank + round-robin baseline.
+func PageRankRR(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	return baseline.PageRankRR(p, opt)
+}
+
+// CAGreedy runs the reference cost-agnostic greedy (Algorithm 1) against a
+// spread oracle; intended for small instances.
+func CAGreedy(p *Problem, oracle SpreadOracle) (*Allocation, error) {
+	return core.CAGreedy(p, oracle)
+}
+
+// CSGreedy runs the reference cost-sensitive greedy against a spread
+// oracle; intended for small instances.
+func CSGreedy(p *Problem, oracle SpreadOracle) (*Allocation, error) {
+	return core.CSGreedy(p, oracle)
+}
+
+// NewMCOracle builds a Monte-Carlo spread oracle for the reference
+// algorithms.
+func NewMCOracle(p *Problem, runs int, seed uint64) SpreadOracle {
+	return core.NewMCOracle(p, runs, seed)
+}
+
+// EvaluateMC scores an allocation with fresh Monte-Carlo simulation.
+func EvaluateMC(p *Problem, a *Allocation, runs, workers int, seed uint64) *Evaluation {
+	return core.EvaluateMC(p, a, runs, workers, seed)
+}
+
+// EvaluateCompetitive scores an allocation under hard-competition
+// propagation: every user engages with at most one ad per window (the
+// paper's future-work item iii).
+func EvaluateCompetitive(p *Problem, a *Allocation, runs, workers int, seed uint64) *Evaluation {
+	return core.EvaluateCompetitive(p, a, runs, workers, seed)
+}
+
+// Fig1Instance returns the paper's Figure 1 tightness gadget.
+func Fig1Instance() *Problem { return core.Fig1Instance() }
+
+// Adaptive-seeding types (future-work item iv).
+type (
+	// AdaptiveOptions configures the observe-then-replan loop.
+	AdaptiveOptions = core.AdaptiveOptions
+	// AdaptiveResult compares the adaptive policy with one-shot
+	// allocation in the same realized world.
+	AdaptiveResult = core.AdaptiveResult
+)
+
+// AdaptiveRun executes the adaptive seeding policy: plan with remaining
+// budgets, commit a batch, observe the realized cascades, re-plan.
+func AdaptiveRun(p *Problem, opt AdaptiveOptions) (*AdaptiveResult, error) {
+	return core.AdaptiveRun(p, opt)
+}
+
+// SaveAllocation writes an allocation to a JSON file.
+func SaveAllocation(path string, a *Allocation) error { return core.SaveAllocation(path, a) }
+
+// LoadAllocation reads an allocation from a JSON file.
+func LoadAllocation(path string) (*Allocation, error) { return core.LoadAllocation(path) }

@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// TestPublicAPIQuickstart walks the documented quickstart path end to end
+// through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	w, err := NewWorkbench("flixster", Params{
+		Scale: ScaleTiny, Seed: 42, H: 3, SingletonRuns: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Problem(Linear, 0.2)
+	alloc, stats, err := TICSRM(p, Options{Epsilon: 0.3, Seed: 42, MaxThetaPerAd: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc.NumSeeds() == 0 || stats.Duration <= 0 {
+		t.Fatal("quickstart produced no work")
+	}
+	ev := EvaluateMC(p, alloc, 500, 2, 7)
+	if ev.TotalRevenue() <= 0 {
+		t.Fatal("no revenue")
+	}
+	evComp := EvaluateCompetitive(p, alloc, 500, 2, 7)
+	if evComp.TotalRevenue() > ev.TotalRevenue()*1.05 {
+		t.Error("competitive evaluation should not exceed independent")
+	}
+	// Serialization round trip through the facade.
+	path := filepath.Join(t.TempDir(), "alloc.json")
+	if err := SaveAllocation(path, alloc); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadAllocation(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumSeeds() != alloc.NumSeeds() {
+		t.Error("allocation round trip lost seeds")
+	}
+}
+
+// TestPublicAPIAllAlgorithms runs the four compared algorithms through
+// the facade on one problem.
+func TestPublicAPIAllAlgorithms(t *testing.T) {
+	w, err := NewWorkbench("epinions", Params{Scale: ScaleTiny, Seed: 7, H: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Problem(Sublinear, 12)
+	opt := Options{Epsilon: 0.3, Seed: 7, MaxThetaPerAd: 30000}
+	for name, run := range map[string]func(*Problem, Options) (*Allocation, *Stats, error){
+		"TI-CSRM":     TICSRM,
+		"TI-CARM":     TICARM,
+		"PageRank-GR": PageRankGR,
+		"PageRank-RR": PageRankRR,
+	} {
+		alloc, _, err := run(p, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := alloc.ValidateSlack(p, 0.3); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestPublicAPIReferenceGreedy exercises the Figure 1 gadget through the
+// facade.
+func TestPublicAPIReferenceGreedy(t *testing.T) {
+	p := Fig1Instance()
+	oracle := NewMCOracle(p, 2000, 1)
+	ca, err := CAGreedy(p, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := CSGreedy(p, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ca.TotalRevenue()-3) > 0.2 || math.Abs(cs.TotalRevenue()-6) > 0.2 {
+		t.Errorf("gadget revenues: CA %v (want ≈3), CS %v (want ≈6)",
+			ca.TotalRevenue(), cs.TotalRevenue())
+	}
+}
+
+// TestPublicAPIIMAndLearning smoke-tests the IM and model-learning
+// surfaces.
+func TestPublicAPIIMAndLearning(t *testing.T) {
+	rng := NewRNG(3)
+	w, err := NewWorkbench("epinions", Params{Scale: ScaleTiny, Seed: 3, H: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.Dataset.Graph
+	probs := w.Model.EdgeProbs(w.Ads[0].Gamma)
+
+	tim := TIM(g, probs, 3, TIMOptions{Epsilon: 0.3, MaxTheta: 20000}, rng.Split())
+	if len(tim.Seeds) != 3 {
+		t.Fatalf("TIM returned %d seeds", len(tim.Seeds))
+	}
+	greedy := GreedyIM(g, probs, 3, 500, 2, rng.Split())
+	if len(greedy.Seeds) != 3 {
+		t.Fatalf("GreedyIM returned %d seeds", len(greedy.Seeds))
+	}
+	if len(DegreeSeeds(g, 3)) != 3 || len(SingleDiscountSeeds(g, 3)) != 3 {
+		t.Fatal("heuristics returned wrong seed counts")
+	}
+
+	eps := SimulateEpisodes(g, probs, 200, 2, rng.Split())
+	learned := EstimateIC(g, eps, LearnOptions{Iterations: 5})
+	if int64(len(learned)) != g.NumEdges() {
+		t.Fatal("learned probabilities have wrong length")
+	}
+	if ll := CascadeLogLikelihood(g, learned, eps); math.IsNaN(ll) || ll > 0 {
+		t.Errorf("log-likelihood %v out of range", ll)
+	}
+}
+
+// TestPublicAPIAdaptive smoke-tests the adaptive loop through the facade.
+func TestPublicAPIAdaptive(t *testing.T) {
+	w, err := NewWorkbench("epinions", Params{Scale: ScaleTiny, Seed: 11, H: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Problem(Linear, 0.3)
+	res, err := AdaptiveRun(p, AdaptiveOptions{
+		Engine:    Options{Epsilon: 0.3, Seed: 11, MaxThetaPerAd: 20000},
+		Rounds:    2,
+		WorldSeed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AdaptiveRevenue <= 0 || res.OneShotRevenue <= 0 {
+		t.Error("adaptive run produced no revenue")
+	}
+}
