@@ -6,8 +6,10 @@ package repro
 
 import (
 	"fmt"
-	"repro/internal/im"
 	"testing"
+	"time"
+
+	"repro/internal/im"
 
 	"repro/internal/cascade"
 	"repro/internal/core"
@@ -216,6 +218,48 @@ func BenchmarkRRSetSampling(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Sample()
+	}
+}
+
+// BenchmarkParallelSampling compares RR-set generation throughput across
+// worker-pool sizes on the benchmark graph. workers=1 is the
+// sequential-identical baseline; the sets/sec metric is what rmbench
+// reports, so BENCH_*.json runs can track the multicore speedup. On a
+// single-core machine the multi-worker variants only measure pool
+// overhead.
+func BenchmarkParallelSampling(b *testing.B) {
+	rng := xrand.New(2)
+	g := gen.RMAT(4096, 32768, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	probs := model.EdgeProbs(topic.Distribution{1})
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ps := rrset.NewParallelSampler(g, probs, rrset.SampleOptions{Workers: w, Seed: 7})
+			b.ResetTimer()
+			start := time.Now()
+			ps.SampleN(b.N, func([]int32, int64) {})
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "sets/sec")
+		})
+	}
+}
+
+// BenchmarkParallelCoverageFill measures the end-to-end path the engine
+// drives: parallel sampling plus single-goroutine merge indexing into a
+// Collection.
+func BenchmarkParallelCoverageFill(b *testing.B) {
+	rng := xrand.New(2)
+	g := gen.RMAT(4096, 32768, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	probs := model.EdgeProbs(topic.Distribution{1})
+	for _, w := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ps := rrset.NewParallelSampler(g, probs, rrset.SampleOptions{Workers: w, Seed: 7})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				coll := rrset.NewCollection(g.NumNodes())
+				coll.AddFromParallel(ps, 10_000)
+			}
+		})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,6 +41,7 @@ var (
 	hSweepStr  = flag.String("hsweep", "1,5,10,15,20", "fig5a/b advertiser counts")
 	csvPath    = flag.String("csv", "", "also write results as CSV to this file")
 	quiet      = flag.Bool("quiet", false, "suppress progress output")
+	workers    = flag.Int("workers", 1, "RR-sampling workers per advertiser (0 = all CPU cores; 1 = sequential-identical, the paper's setting)")
 )
 
 func main() {
@@ -55,6 +57,10 @@ func params() (eval.Params, error) {
 	if err != nil {
 		return eval.Params{}, err
 	}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.NumCPU()
+	}
 	return eval.Params{
 		Scale:         scale,
 		Seed:          *seed,
@@ -64,6 +70,7 @@ func params() (eval.Params, error) {
 		MCEvalRuns:    *mcEval,
 		SingletonRuns: *singleRuns,
 		AlphaPoints:   *alphaPts,
+		SampleWorkers: nw,
 	}, nil
 }
 
@@ -136,7 +143,8 @@ func run() error {
 	}
 	for _, id := range ids {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "== running %s (scale=%s) ==\n", id, p.Scale)
+			fmt.Fprintf(os.Stderr, "== running %s (scale=%s, workers=%d) ==\n",
+				id, p.Scale, p.SampleWorkers)
 		}
 		if err := runOne(id, p); err != nil {
 			return fmt.Errorf("%s: %w", id, err)

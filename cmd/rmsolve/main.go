@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/baseline"
@@ -36,6 +37,7 @@ var (
 	topSeeds  = flag.Int("top", 5, "how many seeds to list per ad")
 	outPath   = flag.String("out", "", "write the allocation as JSON to this file")
 	share     = flag.Bool("share", false, "share RR samples across ads with identical topics")
+	workers   = flag.Int("workers", 1, "RR-sampling workers per advertiser (1 = sequential-identical, machine-independent; 0 = all CPU cores)")
 )
 
 func main() {
@@ -55,15 +57,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.NumCPU()
+	}
 	params := eval.Params{Scale: scale, Seed: *seed, H: *hFlag, Epsilon: *epsFlag,
-		Window: *window, MaxThetaPerAd: *maxTheta}
+		Window: *window, MaxThetaPerAd: *maxTheta, SampleWorkers: nw}
 	w, err := eval.NewWorkbench(*dataset, params)
 	if err != nil {
 		return err
 	}
 	p := w.Problem(kind, *alpha)
 	opt := core.Options{Epsilon: *epsFlag, Window: *window, Seed: *seed,
-		MaxThetaPerAd: *maxTheta, ShareSamples: *share}
+		MaxThetaPerAd: *maxTheta, ShareSamples: *share, Workers: nw}
 
 	var (
 		alloc *core.Allocation
@@ -84,14 +90,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// MC evaluation keeps its historical fixed 2-way split: -workers tunes
+	// RR sampling only, so evaluated revenue stays machine-independent.
 	ev := core.EvaluateMC(p, alloc, 2000, 2, *seed^0xabcdef)
 
+	throughput := 0.0
+	if s := stats.Duration.Seconds(); s > 0 {
+		throughput = float64(stats.TotalRRSets) / s
+	}
 	fmt.Printf("dataset=%s scale=%s nodes=%d edges=%d h=%d alg=%s kind=%s alpha=%g eps=%g\n",
 		*dataset, scale, p.Graph.NumNodes(), p.Graph.NumEdges(), *hFlag,
 		*algFlag, kind, *alpha, *epsFlag)
-	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory\n\n",
+	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory, %d workers, %.0f RR sets/sec\n\n",
 		stats.Duration.Round(1e6), stats.TotalRRSets,
-		float64(stats.RRMemoryBytes)/(1<<20))
+		float64(stats.RRMemoryBytes)/(1<<20), stats.SampleWorkers, throughput)
 
 	for i := range alloc.Seeds {
 		fmt.Printf("ad %d: budget=%.1f cpe=%.2f seeds=%d\n",

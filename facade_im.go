@@ -37,10 +37,12 @@ func IMM(g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) IMResult {
 
 // BudgetedIM solves budgeted influence maximization (linear knapsack on
 // node costs) with the max(cost-agnostic, cost-sensitive) greedy — the
-// κ_ρ = 0 special case of the paper's Theorems 2–3.
+// κ_ρ = 0 special case of the paper's Theorems 2–3. Of opt only Workers
+// is consulted (the sample size is the explicit theta); opt.Workers <= 1
+// is the sequential-identical path.
 func BudgetedIM(g *Graph, probs []float32, costs []float64, budget float64,
-	theta int, rng *RNG) IMResult {
-	return im.BudgetedGreedy(g, probs, costs, budget, theta, rng)
+	theta int, opt TIMOptions, rng *RNG) IMResult {
+	return im.BudgetedGreedy(g, probs, costs, budget, theta, opt, rng)
 }
 
 // DegreeSeeds returns the k highest out-degree nodes (baseline heuristic).

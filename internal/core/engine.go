@@ -81,6 +81,21 @@ type Options struct {
 	// adaptive setting for users already engaged with ad i). nil means no
 	// per-ad exclusions.
 	ExcludedNodes [][]int32
+	// Workers is the number of concurrent RR-sampling goroutines per
+	// advertiser. 0 and 1 both select the single-worker path, which is
+	// bit-identical to the historical sequential sampler under the same
+	// Seed; larger values parallelize sampling while keeping runs
+	// deterministic for a fixed (Seed, Workers, SampleBatch).
+	//
+	// Memory note: each materialized worker keeps a visited array of 8n
+	// bytes (lazily built on first use), and every advertiser owns two
+	// pools, so worst-case overhead is ~2·h·Workers·8n bytes on top of
+	// the RR sets themselves — size Workers accordingly on huge graphs
+	// with many ads.
+	Workers int
+	// SampleBatch is the parallel sampler's per-worker batch size
+	// (0 = rrset.DefaultBatchSize). Only meaningful with Workers > 1.
+	SampleBatch int
 }
 
 func (o *Options) withDefaults() Options {
@@ -93,6 +108,12 @@ func (o *Options) withDefaults() Options {
 	}
 	if out.MaxThetaPerAd == 0 {
 		out.MaxThetaPerAd = 3_000_000
+	}
+	if out.Workers <= 0 {
+		// Unlike rrset.SampleOptions (whose zero value means NumCPU), the
+		// engine's zero value stays single-worker so that pre-existing
+		// seed-pinned results are reproduced exactly by default.
+		out.Workers = 1
 	}
 	return out
 }
@@ -109,6 +130,7 @@ type Stats struct {
 	PrunedPairs   int64
 	TotalRRSets   int64
 	RRMemoryBytes int64 // final footprint of all collections
+	SampleWorkers int   // RR-sampling workers per advertiser (resolved)
 }
 
 // TICARM runs the scalable cost-agnostic algorithm.
@@ -127,8 +149,8 @@ func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 // sharing one RR-set universe (Options.ShareSamples).
 type adGroup struct {
 	universe *rrset.Universe
-	sampler  *rrset.Sampler
-	kptSrc   *rrset.Sampler
+	sampler  *rrset.ParallelSampler
+	kptSrc   *rrset.ParallelSampler
 	kpt      float64
 	kptAtS   int
 	members  []*adState
@@ -140,11 +162,11 @@ type adState struct {
 	cpe     float64
 	budget  float64
 	coll    rrset.CoverageState
-	excl    *rrset.Collection // non-nil iff exclusive (coll == excl)
-	view    *rrset.View       // non-nil iff sharing (coll == view)
-	group   *adGroup          // non-nil iff sharing
-	sampler *rrset.Sampler    // exclusive mode only
-	kptSrc  *rrset.Sampler    // exclusive mode only
+	excl    *rrset.Collection      // non-nil iff exclusive (coll == excl)
+	view    *rrset.View            // non-nil iff sharing (coll == view)
+	group   *adGroup               // non-nil iff sharing
+	sampler *rrset.ParallelSampler // exclusive mode only
+	kptSrc  *rrset.ParallelSampler // exclusive mode only
 	heap    candHeap
 	pruned  []bool // (node, ad) pairs removed from the ground set
 
@@ -205,10 +227,11 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 		m:        p.Graph.NumEdges(),
 		assigned: make([]bool, p.Graph.NumNodes()),
 		stats: &Stats{
-			Mode:       opt.Mode,
-			Theta:      make([]int, p.NumAds()),
-			Kpt:        make([]float64, p.NumAds()),
-			SeedCounts: make([]int, p.NumAds()),
+			Mode:          opt.Mode,
+			Theta:         make([]int, p.NumAds()),
+			Kpt:           make([]float64, p.NumAds()),
+			SeedCounts:    make([]int, p.NumAds()),
+			SampleWorkers: opt.Workers,
 		},
 	}
 	if opt.ExcludedNodes != nil && len(opt.ExcludedNodes) != p.NumAds() {
@@ -228,13 +251,16 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 			g, ok := byGamma[key]
 			if !ok {
 				probs := p.EdgeProbs(i)
+				// Seeds drawn in the same order the sequential code called
+				// rng.Split(), so Workers<=1 reproduces it bit for bit.
+				sSeed, kSeed := rng.Uint64(), rng.Uint64()
 				g = &adGroup{
 					universe: rrset.NewUniverse(e.n),
-					sampler:  rrset.NewSampler(p.Graph, probs, rng.Split()),
-					kptSrc:   rrset.NewSampler(p.Graph, probs, rng.Split()),
+					sampler:  rrset.NewParallelSampler(p.Graph, probs, e.sampleOpts(sSeed)),
+					kptSrc:   rrset.NewParallelSampler(p.Graph, probs, e.sampleOpts(kSeed)),
 					kptAtS:   1,
 				}
-				g.kpt = rrset.KptEstimate(g.kptSrc, e.m, int64(e.n), 1, opt.Ell)
+				g.kpt = rrset.KptEstimateParallel(g.kptSrc, e.m, int64(e.n), 1, opt.Ell)
 				byGamma[key] = g
 				e.groups = append(e.groups, g)
 			}
@@ -301,22 +327,25 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 func (e *engine) initAd(i int, rng *xrand.RNG) *adState {
 	probs := e.p.EdgeProbs(i)
 	coll := rrset.NewCollection(e.n)
+	// Seeds drawn in the same order the sequential code called rng.Split(),
+	// so Workers<=1 reproduces it bit for bit.
+	sSeed, kSeed := rng.Uint64(), rng.Uint64()
 	ad := &adState{
 		idx:     i,
 		cpe:     e.p.Ads[i].CPE,
 		budget:  e.p.Ads[i].Budget,
 		coll:    coll,
 		excl:    coll,
-		sampler: rrset.NewSampler(e.p.Graph, probs, rng.Split()),
-		kptSrc:  rrset.NewSampler(e.p.Graph, probs, rng.Split()),
+		sampler: rrset.NewParallelSampler(e.p.Graph, probs, e.sampleOpts(sSeed)),
+		kptSrc:  rrset.NewParallelSampler(e.p.Graph, probs, e.sampleOpts(kSeed)),
 		pruned:  make([]bool, e.n),
 		s:       1,
 		kptAtS:  1,
 		active:  true,
 	}
-	ad.kpt = rrset.KptEstimate(ad.kptSrc, e.m, int64(e.n), 1, e.opt.Ell)
+	ad.kpt = rrset.KptEstimateParallel(ad.kptSrc, e.m, int64(e.n), 1, e.opt.Ell)
 	ad.theta = e.thetaFor(ad, 1)
-	coll.AddFrom(ad.sampler, ad.theta)
+	coll.AddFromParallel(ad.sampler, ad.theta)
 	e.applyExclusions(ad)
 	e.rebuildHeap(ad)
 	return ad
@@ -350,7 +379,7 @@ func (e *engine) initSharedAd(i int, g *adGroup) *adState {
 	}
 	need := e.thetaFor(ad, 1)
 	if g.universe.Size() < need {
-		g.universe.AddFrom(g.sampler, need-g.universe.Size())
+		g.universe.AddFromParallel(g.sampler, need-g.universe.Size())
 	}
 	ad.view = rrset.NewView(g.universe)
 	ad.coll = ad.view
@@ -359,6 +388,16 @@ func (e *engine) initSharedAd(i int, g *adGroup) *adState {
 	e.applyExclusions(ad)
 	e.rebuildHeap(ad)
 	return ad
+}
+
+// sampleOpts builds the parallel-sampler configuration for one RNG stream
+// seed, carrying the engine-wide worker count and batch size.
+func (e *engine) sampleOpts(seed uint64) rrset.SampleOptions {
+	return rrset.SampleOptions{
+		Workers:   e.opt.Workers,
+		BatchSize: e.opt.SampleBatch,
+		Seed:      seed,
+	}
 }
 
 // thetaFor computes the target sample size for seed-set size s, capped by
@@ -573,7 +612,7 @@ func (e *engine) grow(ad *adState) {
 	if ad.group != nil {
 		g := ad.group
 		if newTheta > g.universe.Size() {
-			g.universe.AddFrom(g.sampler, newTheta-g.universe.Size())
+			g.universe.AddFromParallel(g.sampler, newTheta-g.universe.Size())
 		}
 		// Every member whose view lags the universe absorbs the new sets
 		// (Algorithm 3 per member).
@@ -594,7 +633,7 @@ func (e *engine) grow(ad *adState) {
 	if newTheta <= ad.theta {
 		return
 	}
-	ad.excl.AddFrom(ad.sampler, newTheta-ad.theta)
+	ad.excl.AddFromParallel(ad.sampler, newTheta-ad.theta)
 	ad.theta = newTheta
 	// Algorithm 3: re-attribute coverage of the fresh sets to existing
 	// seeds in insertion order, then refresh the revenue estimate.
@@ -615,7 +654,7 @@ func (e *engine) refreshKpt(ad *adState) {
 	if ad.group != nil {
 		g := ad.group
 		if ad.s >= 2*g.kptAtS {
-			kpt := rrset.KptEstimate(g.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+			kpt := rrset.KptEstimateParallel(g.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
 			if kpt > g.kpt {
 				g.kpt = kpt
 			}
@@ -627,7 +666,7 @@ func (e *engine) refreshKpt(ad *adState) {
 		return
 	}
 	if ad.s >= 2*ad.kptAtS {
-		kpt := rrset.KptEstimate(ad.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+		kpt := rrset.KptEstimateParallel(ad.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
 		if kpt > ad.kpt {
 			ad.kpt = kpt
 		}

@@ -41,6 +41,7 @@ func CompetitionAblation(dataset string, alpha float64, params Params,
 			Window:        params.Window,
 			Seed:          params.Seed,
 			MaxThetaPerAd: params.MaxThetaPerAd,
+			Workers:       params.SampleWorkers,
 		}
 		var (
 			alloc *core.Allocation
@@ -107,6 +108,7 @@ func SharingAblation(dataset string, hs []int, params Params,
 				Seed:          hp.Seed,
 				MaxThetaPerAd: hp.MaxThetaPerAd,
 				ShareSamples:  share,
+				Workers:       hp.SampleWorkers,
 			})
 			if err != nil {
 				return nil, err

@@ -299,7 +299,12 @@ type ScalePoint struct {
 	Duration  time.Duration
 	MemBytes  int64
 	Seeds     int
+	RRSets    int64 // total RR sets sampled
+	Workers   int   // RR-sampling workers per advertiser
 }
+
+// RRThroughput returns RR sets sampled per second of algorithm runtime.
+func (p ScalePoint) RRThroughput() float64 { return rrThroughput(p.RRSets, p.Duration) }
 
 // scalabilityProblem builds the Figure 5 configuration: WC probabilities,
 // uniform budgets, cpe = 1, α = 0.2 linear incentives with the out-degree
@@ -352,6 +357,7 @@ func ScalabilityAdvertisers(dataset string, hs []int, budget float64, params Par
 			out = append(out, ScalePoint{
 				Dataset: dataset, Algorithm: alg, H: h, Budget: scaledBudget,
 				Duration: res.Duration, MemBytes: res.MemBytes, Seeds: res.Seeds,
+				RRSets: res.RRSets, Workers: res.SampleWorkers,
 			})
 		}
 		runtime.GC()
@@ -392,6 +398,7 @@ func ScalabilityBudget(dataset string, budgets []float64, params Params,
 			out = append(out, ScalePoint{
 				Dataset: dataset, Algorithm: alg, H: h, Budget: scaled,
 				Duration: res.Duration, MemBytes: res.MemBytes, Seeds: res.Seeds,
+				RRSets: res.RRSets, Workers: res.SampleWorkers,
 			})
 		}
 		runtime.GC()
@@ -402,12 +409,13 @@ func ScalabilityBudget(dataset string, budgets []float64, params Params,
 // RuntimeTable renders Figure 5 series (runtime vs the swept variable).
 func RuntimeTable(points []ScalePoint, sweep string) *Table {
 	t := &Table{
-		Title:  "Figure 5: running time (" + sweep + " sweep)",
-		Header: []string{"dataset", "algorithm", "h", "budget", "seconds", "seeds"},
+		Title: "Figure 5: running time (" + sweep + " sweep)",
+		Header: []string{"dataset", "algorithm", "h", "budget", "seconds", "seeds",
+			"workers", "rrsets/s"},
 	}
 	for _, pt := range points {
 		t.Append(pt.Dataset, pt.Algorithm.String(), pt.H, pt.Budget,
-			pt.Duration.Seconds(), pt.Seeds)
+			pt.Duration.Seconds(), pt.Seeds, pt.Workers, pt.RRThroughput())
 	}
 	return t
 }

@@ -92,6 +92,11 @@ type Params struct {
 	SingletonRuns int
 	// Workers bounds simulation parallelism (default NumCPU).
 	Workers int
+	// SampleWorkers is the RR-sampling worker count per advertiser passed
+	// to the engine. 0 and 1 both select the single-worker path that is
+	// bit-identical to sequential sampling, keeping seed-pinned
+	// experiment outputs stable by default.
+	SampleWorkers int
 	// AlphaPoints is the number of α grid points per incentive model
 	// (default 5, as in Figures 2–3).
 	AlphaPoints int
@@ -255,12 +260,27 @@ type RunResult struct {
 	Budget    float64 // only for uniform-budget sweeps
 	Window    int
 
-	Revenue  float64 // MC-evaluated π(S⃗)
-	SeedCost float64 // Σ c_i(S_i)
-	Seeds    int
-	Duration time.Duration
-	MemBytes int64
-	Theta    []int
+	Revenue       float64 // MC-evaluated π(S⃗)
+	SeedCost      float64 // Σ c_i(S_i)
+	Seeds         int
+	Duration      time.Duration
+	MemBytes      int64
+	Theta         []int
+	RRSets        int64 // total RR sets sampled across ads
+	SampleWorkers int   // RR-sampling workers per advertiser
+}
+
+// RRThroughput returns the sampling-dominated runs' headline rate: RR sets
+// generated per second of total algorithm runtime.
+func (r RunResult) RRThroughput() float64 { return rrThroughput(r.RRSets, r.Duration) }
+
+// rrThroughput guards the sets-per-second division shared by RunResult
+// and ScalePoint.
+func rrThroughput(sets int64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(sets) / d.Seconds()
 }
 
 // RunAlgorithm executes one algorithm on a problem, evaluates the
@@ -274,6 +294,7 @@ func RunAlgorithm(p *core.Problem, alg Algorithm, params Params, prScores [][]fl
 		Window:        params.Window,
 		Seed:          params.Seed,
 		MaxThetaPerAd: params.MaxThetaPerAd,
+		Workers:       params.SampleWorkers,
 	}
 	var (
 		alloc *core.Allocation
@@ -308,13 +329,15 @@ func RunAlgorithm(p *core.Problem, alg Algorithm, params Params, prScores [][]fl
 	}
 	ev := core.EvaluateMC(p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xabcdef)
 	return RunResult{
-		Algorithm: alg,
-		Revenue:   ev.TotalRevenue(),
-		SeedCost:  ev.TotalSeedCost(),
-		Seeds:     alloc.NumSeeds(),
-		Duration:  stats.Duration,
-		MemBytes:  stats.RRMemoryBytes,
-		Theta:     stats.Theta,
+		Algorithm:     alg,
+		Revenue:       ev.TotalRevenue(),
+		SeedCost:      ev.TotalSeedCost(),
+		Seeds:         alloc.NumSeeds(),
+		Duration:      stats.Duration,
+		MemBytes:      stats.RRMemoryBytes,
+		Theta:         stats.Theta,
+		RRSets:        stats.TotalRRSets,
+		SampleWorkers: stats.SampleWorkers,
 	}, nil
 }
 

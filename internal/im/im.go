@@ -104,7 +104,7 @@ func GreedyMC(g *graph.Graph, probs []float32, k, runs, workers int, rng *xrand.
 	return Result{Seeds: seeds, SpreadEstimate: spread(seeds)}
 }
 
-// TIMOptions tunes the TIM algorithm.
+// TIMOptions tunes the TIM and IMM algorithms.
 type TIMOptions struct {
 	// Epsilon is the approximation slack ε (default 0.1).
 	Epsilon float64
@@ -112,6 +112,11 @@ type TIMOptions struct {
 	Ell float64
 	// MaxTheta caps the RR sample size (memory guard; 0 = 5,000,000).
 	MaxTheta int
+	// Workers is the number of concurrent RR-sampling goroutines. 0 and 1
+	// both select the single-worker path, bit-identical to the historical
+	// sequential sampler under the same RNG; larger values parallelize
+	// sampling deterministically for a fixed (seed, Workers).
+	Workers int
 }
 
 func (o TIMOptions) withDefaults() TIMOptions {
@@ -123,6 +128,9 @@ func (o TIMOptions) withDefaults() TIMOptions {
 	}
 	if o.MaxTheta == 0 {
 		o.MaxTheta = 5_000_000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -140,8 +148,9 @@ func TIM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 	if k == 0 || n == 0 {
 		return Result{}
 	}
-	kptSampler := rrset.NewSampler(g, probs, rng.Split())
-	kpt := rrset.KptEstimate(kptSampler, g.NumEdges(), n, k, opt.Ell)
+	kptSampler := rrset.NewParallelSampler(g, probs,
+		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()})
+	kpt := rrset.KptEstimateParallel(kptSampler, g.NumEdges(), n, k, opt.Ell)
 
 	theta := int(math.Ceil(rrset.Threshold(n, k, opt.Epsilon, opt.Ell, kpt)))
 	if theta > opt.MaxTheta {
@@ -151,7 +160,8 @@ func TIM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		theta = 1
 	}
 	coll := rrset.NewCollection(g.NumNodes())
-	coll.AddFrom(rrset.NewSampler(g, probs, rng.Split()), theta)
+	coll.AddFromParallel(rrset.NewParallelSampler(g, probs,
+		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()}), theta)
 
 	seeds := make([]int32, 0, k)
 	for len(seeds) < k {

@@ -50,7 +50,8 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		(logNChooseK + ellPrime*math.Log(float64(n)) + math.Log(2)))
 	lambdaStar := 2 * float64(n) * (((1-1/math.E)*alpha + beta) / eps) * (((1-1/math.E)*alpha + beta) / eps)
 
-	sampler := rrset.NewSampler(g, probs, rng.Split())
+	sampler := rrset.NewParallelSampler(g, probs,
+		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()})
 	coll := rrset.NewCollection(g.NumNodes())
 	lb := 1.0
 	maxRounds := int(math.Log2(float64(n)))
@@ -61,7 +62,7 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 			thetaI = opt.MaxTheta
 		}
 		if coll.Size() < thetaI {
-			coll.AddFrom(sampler, thetaI-coll.Size())
+			coll.AddFromParallel(sampler, thetaI-coll.Size())
 		}
 		// Greedy max coverage on a throwaway replay of the collection.
 		frac := greedyCoverageFraction(coll, g.NumNodes(), k)
@@ -79,7 +80,8 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		theta = opt.MaxTheta
 	}
 	final := rrset.NewCollection(g.NumNodes())
-	final.AddFrom(rrset.NewSampler(g, probs, rng.Split()), theta)
+	final.AddFromParallel(rrset.NewParallelSampler(g, probs,
+		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()}), theta)
 	seeds := make([]int32, 0, k)
 	for len(seeds) < k {
 		v, cnt := final.MaxCovCount(nil)
@@ -122,17 +124,21 @@ func greedyCoverageFraction(c *rrset.Collection, n int32, k int) float64 {
 // cost-agnostic and the cost-sensitive (benefit/cost) greedy rules on a
 // shared RR sample and returns the better of the two solutions — the
 // classic max(UC, CB) trick that restores a constant-factor guarantee
-// that neither rule has alone.
+// that neither rule has alone. Of opt only Workers is consulted — the
+// sample size is the explicit theta, not Eq. 8 — and opt.Workers <= 1
+// reproduces the sequential sampler bit for bit.
 func BudgetedGreedy(g *graph.Graph, probs []float32, costs []float64, budget float64,
-	theta int, rng *xrand.RNG) Result {
+	theta int, opt TIMOptions, rng *xrand.RNG) Result {
 	if len(costs) != int(g.NumNodes()) {
 		panic("im: BudgetedGreedy needs one cost per node")
 	}
 	if theta < 1 {
 		panic("im: BudgetedGreedy needs theta >= 1")
 	}
+	opt = opt.withDefaults()
 	base := rrset.NewCollection(g.NumNodes())
-	base.AddFrom(rrset.NewSampler(g, probs, rng.Split()), theta)
+	base.AddFromParallel(rrset.NewParallelSampler(g, probs,
+		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()}), theta)
 
 	run := func(costSensitive bool) ([]int32, float64) {
 		c := rrset.NewCollection(g.NumNodes())

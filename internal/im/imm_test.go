@@ -110,7 +110,7 @@ func TestBudgetedGreedyRespectsBudget(t *testing.T) {
 		costs[u] = 1 + float64(g.OutDegree(u))
 	}
 	const budget = 20.0
-	res := BudgetedGreedy(g, probs, costs, budget, 20000, rng.Split())
+	res := BudgetedGreedy(g, probs, costs, budget, 20000, TIMOptions{}, rng.Split())
 	var spent float64
 	seen := map[int32]bool{}
 	for _, u := range res.Seeds {
@@ -153,7 +153,7 @@ func TestBudgetedGreedyMaxTrick(t *testing.T) {
 		costs[u] = 1
 	}
 	costs[0] = 10 // hub price equals the whole budget
-	res := BudgetedGreedy(g, probs, costs, 10, 20000, xrand.New(6))
+	res := BudgetedGreedy(g, probs, costs, 10, 20000, TIMOptions{Workers: 2}, xrand.New(6))
 	// Cost-sensitive greedy takes the four cheap nodes (spread 12); the
 	// cost-agnostic rule would grab the hub (spread 11). max() must pick
 	// the better: spread ≥ 12.
@@ -169,5 +169,5 @@ func TestBudgetedGreedyPanics(t *testing.T) {
 			t.Error("expected panic for wrong cost vector length")
 		}
 	}()
-	BudgetedGreedy(g, probs, []float64{1}, 5, 100, xrand.New(7))
+	BudgetedGreedy(g, probs, []float64{1}, 5, 100, TIMOptions{}, xrand.New(7))
 }

@@ -1,0 +1,195 @@
+package rrset
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// DefaultBatchSize is the number of RR sets a worker accumulates locally
+// before handing them to the merger. Large enough to amortize channel
+// operations to well under the cost of one reverse BFS, small enough to
+// keep the merge pipeline busy.
+const DefaultBatchSize = 256
+
+// SampleOptions configures a ParallelSampler.
+type SampleOptions struct {
+	// Workers is the number of sampling goroutines. 0 means
+	// runtime.NumCPU(); 1 selects the zero-overhead single-worker path,
+	// which is bit-identical to a sequential Sampler seeded with the same
+	// Seed.
+	Workers int
+	// BatchSize is how many RR sets each worker buffers per flush
+	// (0 = DefaultBatchSize). It affects load balancing — batches are
+	// statically assigned to workers round-robin — and therefore the exact
+	// output stream for Workers > 1; determinism holds for a fixed
+	// (Seed, Workers, BatchSize).
+	BatchSize int
+	// Seed derives every worker's RNG stream. With Workers = 1 the single
+	// worker consumes xrand.New(Seed) directly; with more workers each
+	// receives an independent Split of that parent stream.
+	Seed uint64
+}
+
+func (o SampleOptions) withDefaults() SampleOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// sample is one drawn RR set with its width w(R).
+type sample struct {
+	nodes []int32
+	width int64
+}
+
+// ParallelSampler draws random RR sets for one ad on a pool of workers,
+// each with a private Sampler and a deterministic xrand.RNG stream split
+// from a common seed.
+//
+// Work is distributed statically: the output stream is divided into
+// batches of BatchSize sets, and batch b is produced by worker b mod W
+// from its own RNG stream. The merger consumes batches in global order
+// over per-worker channels, so the sequence of emitted sets depends only
+// on (Seed, Workers, BatchSize) and the sequence of SampleN calls — never
+// on goroutine scheduling. Static assignment is what buys determinism; a
+// dynamic queue would balance load marginally better but tie the
+// RNG-to-set mapping to the scheduler.
+//
+// A ParallelSampler is stateful (worker RNG streams advance across calls)
+// and must not be used from multiple goroutines at once; distinct
+// ParallelSamplers are fully independent.
+type ParallelSampler struct {
+	g     *graph.Graph
+	probs []float32
+	// rngs holds every worker's pre-split stream (fixed at construction,
+	// so laziness below cannot perturb determinism); workers[i] is built
+	// on first use, because a worker only materializes its per-sampler
+	// state (a visited array of NumNodes int64s) once a request actually
+	// reaches its batches — small requests like early KPT rounds touch
+	// only worker 0.
+	rngs    []*xrand.RNG
+	workers []*Sampler
+	batch   int
+}
+
+// NewParallelSampler builds a worker pool for the given graph and
+// ad-specific arc probabilities. With opts.Workers == 1 the pool degrades
+// to exactly NewSampler(g, probs, xrand.New(opts.Seed)) driven inline —
+// no goroutines, no channels — so single-worker runs reproduce the
+// sequential sampler bit for bit.
+func NewParallelSampler(g *graph.Graph, probs []float32, opts SampleOptions) *ParallelSampler {
+	opts = opts.withDefaults()
+	parent := xrand.New(opts.Seed)
+	ps := &ParallelSampler{g: g, probs: probs, batch: opts.BatchSize}
+	if opts.Workers == 1 {
+		ps.workers = []*Sampler{NewSampler(g, probs, parent)}
+		return ps
+	}
+	ps.workers = make([]*Sampler, opts.Workers)
+	ps.rngs = make([]*xrand.RNG, opts.Workers)
+	for i := range ps.rngs {
+		ps.rngs[i] = parent.Split()
+	}
+	return ps
+}
+
+// worker returns worker wi's Sampler, building it on first use. Callers
+// must invoke it from a single goroutine (SampleN does, before spawning).
+func (ps *ParallelSampler) worker(wi int) *Sampler {
+	if ps.workers[wi] == nil {
+		ps.workers[wi] = NewSampler(ps.g, ps.probs, ps.rngs[wi])
+	}
+	return ps.workers[wi]
+}
+
+// NumWorkers returns the size of the worker pool.
+func (ps *ParallelSampler) NumWorkers() int { return len(ps.workers) }
+
+// SampleN draws count RR sets and hands each — member nodes (caller owns
+// the slice) and width — to yield, which runs on the calling goroutine.
+// The emission order is deterministic for a fixed sampler configuration.
+func (ps *ParallelSampler) SampleN(count int, yield func(nodes []int32, width int64)) {
+	if count <= 0 {
+		return
+	}
+	if len(ps.workers) == 1 {
+		s := ps.workers[0]
+		for i := 0; i < count; i++ {
+			yield(s.Sample())
+		}
+		return
+	}
+	w := len(ps.workers)
+	numBatches := (count + ps.batch - 1) / ps.batch
+	active := w
+	if numBatches < active {
+		active = numBatches // trailing workers have no batch; don't spawn them
+	}
+	// One channel per worker keeps batches from a single RNG stream in
+	// order without a reorder buffer: the merger pops batch b from channel
+	// b mod W, mirroring the static assignment.
+	chans := make([]chan []sample, active)
+	for i := range chans {
+		chans[i] = make(chan []sample, 2)
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < active; wi++ {
+		wg.Add(1)
+		s := ps.worker(wi)
+		go func(wi int, s *Sampler) {
+			defer wg.Done()
+			for b := wi; b < numBatches; b += w {
+				lo := b * ps.batch
+				hi := lo + ps.batch
+				if hi > count {
+					hi = count
+				}
+				batch := make([]sample, hi-lo)
+				for j := range batch {
+					nodes, width := s.Sample()
+					batch[j] = sample{nodes: nodes, width: width}
+				}
+				chans[wi] <- batch
+			}
+			close(chans[wi])
+		}(wi, s)
+	}
+	for b := 0; b < numBatches; b++ {
+		for _, smp := range <-chans[b%w] {
+			yield(smp.nodes, smp.width)
+		}
+	}
+	wg.Wait()
+}
+
+// AddFromParallel samples count RR sets from the pool into the collection.
+// Indexing happens on the caller's goroutine while workers keep sampling,
+// so the collection needs no internal locking. With a single-worker pool
+// it is equivalent to AddFrom on the underlying sequential sampler.
+func (c *Collection) AddFromParallel(ps *ParallelSampler, count int) {
+	ps.SampleN(count, func(nodes []int32, _ int64) { c.Add(nodes) })
+}
+
+// AddFromParallel samples count RR sets from the pool into the universe;
+// see Collection.AddFromParallel for the concurrency contract.
+func (u *Universe) AddFromParallel(ps *ParallelSampler, count int) {
+	ps.SampleN(count, func(nodes []int32, _ int64) { u.Add(nodes) })
+}
+
+// KptEstimateParallel is KptEstimate drawing its geometric batches from a
+// worker pool. The κ(R) terms are accumulated in the pool's deterministic
+// emission order, so the estimate is reproducible for a fixed
+// configuration, and a single-worker pool reproduces the sequential
+// KptEstimate bit for bit.
+func KptEstimateParallel(ps *ParallelSampler, m, n int64, size int, ell float64) float64 {
+	return kptEstimate(func(count int, yield func(width int64)) {
+		ps.SampleN(count, func(_ []int32, width int64) { yield(width) })
+	}, m, n, size, ell)
+}

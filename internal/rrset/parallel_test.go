@@ -1,0 +1,219 @@
+package rrset
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// testProbs builds uniform arc probabilities for a graph from newTestGraph.
+func testProbs(n int64, p float32) []float32 {
+	probs := make([]float32, n)
+	for i := range probs {
+		probs[i] = p
+	}
+	return probs
+}
+
+// collectionsEqual reports whether two collections hold the same sets in
+// the same order, with identical coverage counters.
+func collectionsEqual(t *testing.T, a, b *Collection) {
+	t.Helper()
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	for id := int32(0); id < int32(a.Size()); id++ {
+		sa, sb := a.Set(id), b.Set(id)
+		if len(sa) != len(sb) {
+			t.Fatalf("set %d: lengths differ: %d vs %d", id, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("set %d differs at %d: %d vs %d", id, i, sa[i], sb[i])
+			}
+		}
+	}
+	for v := int32(0); v < a.n; v++ {
+		if a.CovCount(v) != b.CovCount(v) {
+			t.Fatalf("covCount[%d] differs: %d vs %d", v, a.CovCount(v), b.CovCount(v))
+		}
+	}
+}
+
+// A single-worker pool must reproduce the sequential sampler bit for bit:
+// same sets, same order, same coverage counters — this is the contract
+// that lets the engine switch to ParallelSampler without disturbing any
+// seed-pinned result.
+func TestParallelSingleWorkerBitIdentical(t *testing.T) {
+	g := newTestGraph(xrand.New(41))
+	probs := testProbs(g.NumEdges(), 0.1)
+	const seed, count = 7, 500
+
+	seq := NewCollection(g.NumNodes())
+	seq.AddFrom(NewSampler(g, probs, xrand.New(seed)), count)
+
+	par := NewCollection(g.NumNodes())
+	ps := NewParallelSampler(g, probs, SampleOptions{Workers: 1, Seed: seed})
+	par.AddFromParallel(ps, count)
+
+	collectionsEqual(t, seq, par)
+}
+
+// KptEstimateParallel on a single-worker pool must equal KptEstimate on a
+// sequential sampler with the same seed, exactly.
+func TestKptEstimateParallelSingleWorkerMatches(t *testing.T) {
+	g := newTestGraph(xrand.New(42))
+	probs := testProbs(g.NumEdges(), 0.1)
+	const seed = 11
+	for _, size := range []int{1, 5} {
+		seq := KptEstimate(NewSampler(g, probs, xrand.New(seed)),
+			g.NumEdges(), int64(g.NumNodes()), size, 1)
+		par := KptEstimateParallel(
+			NewParallelSampler(g, probs, SampleOptions{Workers: 1, Seed: seed}),
+			g.NumEdges(), int64(g.NumNodes()), size, 1)
+		if seq != par {
+			t.Errorf("size=%d: sequential KPT %v != single-worker parallel KPT %v", size, seq, par)
+		}
+	}
+}
+
+// For a fixed (Seed, Workers, BatchSize) the multi-worker output stream is
+// deterministic — independent of goroutine scheduling — including across a
+// sequence of incremental AddFromParallel calls, the engine's sample-growth
+// pattern.
+func TestParallelDeterministic(t *testing.T) {
+	g := newTestGraph(xrand.New(43))
+	probs := testProbs(g.NumEdges(), 0.1)
+	opts := SampleOptions{Workers: 4, BatchSize: 32, Seed: 13}
+	grow := []int{100, 37, 411}
+
+	build := func() *Collection {
+		c := NewCollection(g.NumNodes())
+		ps := NewParallelSampler(g, probs, opts)
+		for _, n := range grow {
+			c.AddFromParallel(ps, n)
+		}
+		return c
+	}
+	collectionsEqual(t, build(), build())
+
+	kpt := func() float64 {
+		return KptEstimateParallel(NewParallelSampler(g, probs, opts),
+			g.NumEdges(), int64(g.NumNodes()), 3, 1)
+	}
+	if a, b := kpt(), kpt(); a != b {
+		t.Errorf("KptEstimateParallel not deterministic: %v vs %v", a, b)
+	}
+}
+
+// Multi-worker universes must match multi-worker collections set for set:
+// both consume the same deterministic emission stream.
+func TestParallelUniverseMatchesCollection(t *testing.T) {
+	g := newTestGraph(xrand.New(44))
+	probs := testProbs(g.NumEdges(), 0.1)
+	opts := SampleOptions{Workers: 3, BatchSize: 16, Seed: 17}
+	const count = 300
+
+	c := NewCollection(g.NumNodes())
+	c.AddFromParallel(NewParallelSampler(g, probs, opts), count)
+	u := NewUniverse(g.NumNodes())
+	u.AddFromParallel(NewParallelSampler(g, probs, opts), count)
+
+	if c.Size() != u.Size() {
+		t.Fatalf("sizes differ: %d vs %d", c.Size(), u.Size())
+	}
+	for id := int32(0); id < int32(c.Size()); id++ {
+		cs, us := c.Set(id), u.sets[id]
+		if len(cs) != len(us) {
+			t.Fatalf("set %d: lengths differ", id)
+		}
+		for i := range cs {
+			if cs[i] != us[i] {
+				t.Fatalf("set %d differs at %d", id, i)
+			}
+		}
+	}
+}
+
+// Edge geometry: counts smaller than one batch, counts that don't divide
+// evenly into batches, and more workers than batches must all deliver
+// exactly count sets.
+func TestParallelCounts(t *testing.T) {
+	g := newTestGraph(xrand.New(45))
+	probs := testProbs(g.NumEdges(), 0.1)
+	for _, tc := range []struct {
+		workers, batch, count int
+	}{
+		{4, 64, 1},
+		{4, 64, 63},
+		{4, 64, 64},
+		{4, 64, 65},
+		{8, 16, 17},
+		{8, 1000, 3}, // more workers than batches
+		{2, 7, 700},
+	} {
+		ps := NewParallelSampler(g, probs, SampleOptions{
+			Workers: tc.workers, BatchSize: tc.batch, Seed: 19,
+		})
+		got := 0
+		ps.SampleN(tc.count, func(nodes []int32, width int64) {
+			if len(nodes) == 0 {
+				t.Fatalf("%+v: empty RR set", tc)
+			}
+			got++
+		})
+		if got != tc.count {
+			t.Errorf("%+v: emitted %d sets, want %d", tc, got, tc.count)
+		}
+	}
+}
+
+// The engine initializes every advertiser concurrently, each filling its
+// own collection from its own multi-worker pool. This mirrors that pattern
+// so `go test -race` guards the merge path.
+func TestParallelConcurrentAddFrom(t *testing.T) {
+	g := newTestGraph(xrand.New(46))
+	probs := testProbs(g.NumEdges(), 0.1)
+	const ads = 6
+
+	colls := make([]*Collection, ads)
+	var wg sync.WaitGroup
+	for i := 0; i < ads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ps := NewParallelSampler(g, probs, SampleOptions{
+				Workers: 4, BatchSize: 32, Seed: uint64(100 + i),
+			})
+			c := NewCollection(g.NumNodes())
+			c.AddFromParallel(ps, 400)
+			colls[i] = c
+		}(i)
+	}
+	wg.Wait()
+
+	for i, c := range colls {
+		if c.Size() != 400 {
+			t.Errorf("ad %d: %d sets, want 400", i, c.Size())
+		}
+	}
+	// Same-seed pools must agree regardless of the concurrency around them.
+	ref := NewCollection(g.NumNodes())
+	ref.AddFromParallel(NewParallelSampler(g, probs, SampleOptions{
+		Workers: 4, BatchSize: 32, Seed: 100,
+	}), 400)
+	collectionsEqual(t, ref, colls[0])
+}
+
+// Zero-probability arcs must yield singleton RR sets through the parallel
+// path too (the lazy coin flips never expand the frontier).
+func TestParallelZeroProb(t *testing.T) {
+	g, probs := line3(0.0)
+	ps := NewParallelSampler(g, probs, SampleOptions{Workers: 2, BatchSize: 4, Seed: 3})
+	ps.SampleN(40, func(nodes []int32, _ int64) {
+		if len(nodes) != 1 {
+			t.Fatalf("p=0 RR set has %d nodes, want 1", len(nodes))
+		}
+	})
+}
