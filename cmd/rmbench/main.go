@@ -41,7 +41,8 @@ var (
 	hSweepStr  = flag.String("hsweep", "1,5,10,15,20", "fig5a/b advertiser counts")
 	csvPath    = flag.String("csv", "", "also write results as CSV to this file")
 	quiet      = flag.Bool("quiet", false, "suppress progress output")
-	workers    = flag.Int("workers", 1, "RR-sampling workers per advertiser (0 = all CPU cores; 1 = sequential-identical, the paper's setting)")
+	workers    = flag.Int("workers", 1, "RR-sampling scratch slots shared by all ads per run (0 = all CPU cores; 1 = sequential-identical, the paper's setting)")
+	batch      = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default; part of the determinism key for workers > 1)")
 )
 
 func main() {
@@ -71,6 +72,7 @@ func params() (eval.Params, error) {
 		SingletonRuns: *singleRuns,
 		AlphaPoints:   *alphaPts,
 		SampleWorkers: nw,
+		SampleBatch:   *batch,
 	}, nil
 }
 

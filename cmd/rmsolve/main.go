@@ -37,7 +37,8 @@ var (
 	topSeeds  = flag.Int("top", 5, "how many seeds to list per ad")
 	outPath   = flag.String("out", "", "write the allocation as JSON to this file")
 	share     = flag.Bool("share", false, "share RR samples across ads with identical topics")
-	workers   = flag.Int("workers", 1, "RR-sampling workers per advertiser (1 = sequential-identical, machine-independent; 0 = all CPU cores)")
+	workers   = flag.Int("workers", 1, "RR-sampling scratch slots shared by all ads (1 = sequential-identical, machine-independent; 0 = all CPU cores)")
+	batch     = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default; part of the determinism key for workers > 1)")
 )
 
 func main() {
@@ -62,14 +63,14 @@ func run() error {
 		nw = runtime.NumCPU()
 	}
 	params := eval.Params{Scale: scale, Seed: *seed, H: *hFlag, Epsilon: *epsFlag,
-		Window: *window, MaxThetaPerAd: *maxTheta, SampleWorkers: nw}
+		Window: *window, MaxThetaPerAd: *maxTheta, SampleWorkers: nw, SampleBatch: *batch}
 	w, err := eval.NewWorkbench(*dataset, params)
 	if err != nil {
 		return err
 	}
 	p := w.Problem(kind, *alpha)
 	opt := core.Options{Epsilon: *epsFlag, Window: *window, Seed: *seed,
-		MaxThetaPerAd: *maxTheta, ShareSamples: *share, Workers: nw}
+		MaxThetaPerAd: *maxTheta, ShareSamples: *share, Workers: nw, SampleBatch: *batch}
 
 	var (
 		alloc *core.Allocation
@@ -101,9 +102,10 @@ func run() error {
 	fmt.Printf("dataset=%s scale=%s nodes=%d edges=%d h=%d alg=%s kind=%s alpha=%g eps=%g\n",
 		*dataset, scale, p.Graph.NumNodes(), p.Graph.NumEdges(), *hFlag,
 		*algFlag, kind, *alpha, *epsFlag)
-	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory, %d workers, %.0f RR sets/sec\n\n",
+	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory + %.1f MB sampler scratch, %d workers, %.0f RR sets/sec\n\n",
 		stats.Duration.Round(1e6), stats.TotalRRSets,
-		float64(stats.RRMemoryBytes)/(1<<20), stats.SampleWorkers, throughput)
+		float64(stats.RRMemoryBytes)/(1<<20),
+		float64(stats.SamplerMemoryBytes)/(1<<20), stats.SampleWorkers, throughput)
 
 	for i := range alloc.Seeds {
 		fmt.Printf("ad %d: budget=%.1f cpe=%.2f seeds=%d\n",

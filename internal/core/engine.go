@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync"
@@ -81,17 +82,22 @@ type Options struct {
 	// adaptive setting for users already engaged with ad i). nil means no
 	// per-ad exclusions.
 	ExcludedNodes [][]int32
-	// Workers is the number of concurrent RR-sampling goroutines per
-	// advertiser. 0 and 1 both select the single-worker path, which is
-	// bit-identical to the historical sequential sampler under the same
-	// Seed; larger values parallelize sampling while keeping runs
-	// deterministic for a fixed (Seed, Workers, SampleBatch).
+	// Workers is the number of RR-sampling scratch slots (and the bound
+	// on concurrently sampling goroutines) for the whole run. 0 and 1
+	// both select the single-worker path, which is bit-identical to the
+	// historical sequential sampler under the same Seed; larger values
+	// parallelize sampling while keeping runs deterministic for a fixed
+	// (Seed, Workers, SampleBatch).
 	//
-	// Memory note: each materialized worker keeps a visited array of 8n
-	// bytes (lazily built on first use), and every advertiser owns two
-	// pools, so worst-case overhead is ~2·h·Workers·8n bytes on top of
-	// the RR sets themselves — size Workers accordingly on huge graphs
-	// with many ads.
+	// Memory note: every advertiser's sampling streams share one
+	// engine-wide rrset.Pool, so worker scratch (a visited array of 8n
+	// bytes per slot, lazily built, plus BFS queues) is bounded by
+	// ~Workers·8n bytes per run regardless of the number of ads, and is
+	// reported in Stats.SamplerMemoryBytes. The slot count also caps
+	// concurrently sampling goroutines for the whole run: with Workers=1
+	// even the per-ad initialization goroutines sample one at a time
+	// (results stay bit-identical to the sequential engine), so raise
+	// Workers to parallelize sampling across ads as well as within one.
 	Workers int
 	// SampleBatch is the parallel sampler's per-worker batch size
 	// (0 = rrset.DefaultBatchSize). Only meaningful with Workers > 1.
@@ -121,16 +127,26 @@ func (o *Options) withDefaults() Options {
 // Stats reports the engine's work for the scalability experiments
 // (Figure 5, Table 3).
 type Stats struct {
-	Mode          Mode
-	Duration      time.Duration
-	Theta         []int     // final RR sample size per ad
-	Kpt           []float64 // final KPT estimate per ad
-	SeedCounts    []int
-	GrowthEvents  int
-	PrunedPairs   int64
-	TotalRRSets   int64
-	RRMemoryBytes int64 // final footprint of all collections
-	SampleWorkers int   // RR-sampling workers per advertiser (resolved)
+	Mode         Mode
+	Duration     time.Duration
+	Theta        []int     // final RR sample size per ad
+	Kpt          []float64 // final KPT estimate per ad
+	SeedCounts   []int
+	GrowthEvents int
+	PrunedPairs  int64
+	TotalRRSets  int64
+	// RRMemoryBytes is the final footprint of all RR-set stores
+	// (collections, shared universes, per-ad views).
+	RRMemoryBytes int64
+	// SamplerMemoryBytes is the high-water scratch footprint of the
+	// engine-wide sampling pool — Workers visited arrays plus BFS queues,
+	// O(Workers·n) regardless of the number of ads. Table 3's memory
+	// columns report RRMemoryBytes + SamplerMemoryBytes.
+	SamplerMemoryBytes int64
+	SampleWorkers      int // RR-sampling scratch slots for the run (resolved)
+	// ShareGroups is the number of distinct sample-sharing groups formed
+	// under Options.ShareSamples (0 when sharing is off).
+	ShareGroups int
 }
 
 // TICARM runs the scalable cost-agnostic algorithm.
@@ -149,8 +165,8 @@ func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 // sharing one RR-set universe (Options.ShareSamples).
 type adGroup struct {
 	universe *rrset.Universe
-	sampler  *rrset.ParallelSampler
-	kptSrc   *rrset.ParallelSampler
+	sampler  *rrset.Stream
+	kptSrc   *rrset.Stream
 	kpt      float64
 	kptAtS   int
 	members  []*adState
@@ -162,11 +178,11 @@ type adState struct {
 	cpe     float64
 	budget  float64
 	coll    rrset.CoverageState
-	excl    *rrset.Collection      // non-nil iff exclusive (coll == excl)
-	view    *rrset.View            // non-nil iff sharing (coll == view)
-	group   *adGroup               // non-nil iff sharing
-	sampler *rrset.ParallelSampler // exclusive mode only
-	kptSrc  *rrset.ParallelSampler // exclusive mode only
+	excl    *rrset.Collection // non-nil iff exclusive (coll == excl)
+	view    *rrset.View       // non-nil iff sharing (coll == view)
+	group   *adGroup          // non-nil iff sharing
+	sampler *rrset.Stream     // exclusive mode only
+	kptSrc  *rrset.Stream     // exclusive mode only
 	heap    candHeap
 	pruned  []bool // (node, ad) pairs removed from the ground set
 
@@ -198,10 +214,14 @@ func (a *adState) payment() float64 { return a.pi + a.cost }
 
 // engine bundles the problem, options and global state.
 type engine struct {
-	p        *Problem
-	opt      Options
-	n        int32
-	m        int64
+	p   *Problem
+	opt Options
+	n   int32
+	m   int64
+	// pool is the engine-wide sampling scratch pool: every ad's sampler
+	// and kptSrc stream — exclusive or shared — borrows its Workers
+	// slots, so sampler memory is O(Workers·n) per run.
+	pool     *rrset.Pool
 	ads      []*adState
 	groups   []*adGroup // non-empty only with Options.ShareSamples
 	assigned []bool
@@ -241,13 +261,17 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	for _, v := range opt.ForbiddenNodes {
 		e.assigned[v] = true
 	}
+	e.pool = rrset.NewPool(p.Graph, rrset.PoolOptions{
+		Workers:   opt.Workers,
+		BatchSize: opt.SampleBatch,
+	})
 	rng := xrand.New(opt.Seed)
 	if opt.ShareSamples {
 		// Group advertisers by topic distribution; members of a group
 		// draw from the same RR-set distribution and share a universe.
 		byGamma := map[string]*adGroup{}
 		for i := 0; i < p.NumAds(); i++ {
-			key := fmt.Sprintf("%v", p.Ads[i].Gamma)
+			key := gammaKey(p.Ads[i].Gamma)
 			g, ok := byGamma[key]
 			if !ok {
 				probs := p.EdgeProbs(i)
@@ -256,8 +280,8 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 				sSeed, kSeed := rng.Uint64(), rng.Uint64()
 				g = &adGroup{
 					universe: rrset.NewUniverse(e.n),
-					sampler:  rrset.NewParallelSampler(p.Graph, probs, e.sampleOpts(sSeed)),
-					kptSrc:   rrset.NewParallelSampler(p.Graph, probs, e.sampleOpts(kSeed)),
+					sampler:  e.pool.NewStream(probs, sSeed),
+					kptSrc:   e.pool.NewStream(probs, kSeed),
 					kptAtS:   1,
 				}
 				g.kpt = rrset.KptEstimateParallel(g.kptSrc, e.m, int64(e.n), 1, opt.Ell)
@@ -311,6 +335,8 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 		e.stats.RRMemoryBytes += g.universe.MemoryFootprint()
 		e.stats.TotalRRSets += int64(g.universe.Size())
 	}
+	e.stats.SamplerMemoryBytes = e.pool.MemoryFootprint()
+	e.stats.ShareGroups = len(e.groups)
 	e.stats.Duration = time.Since(start)
 	// Admission-time feasibility was enforced with current estimates;
 	// growth-time revisions can shift payments within the ±ε estimation
@@ -336,8 +362,8 @@ func (e *engine) initAd(i int, rng *xrand.RNG) *adState {
 		budget:  e.p.Ads[i].Budget,
 		coll:    coll,
 		excl:    coll,
-		sampler: rrset.NewParallelSampler(e.p.Graph, probs, e.sampleOpts(sSeed)),
-		kptSrc:  rrset.NewParallelSampler(e.p.Graph, probs, e.sampleOpts(kSeed)),
+		sampler: e.pool.NewStream(probs, sSeed),
+		kptSrc:  e.pool.NewStream(probs, kSeed),
 		pruned:  make([]bool, e.n),
 		s:       1,
 		kptAtS:  1,
@@ -390,14 +416,27 @@ func (e *engine) initSharedAd(i int, g *adGroup) *adState {
 	return ad
 }
 
-// sampleOpts builds the parallel-sampler configuration for one RNG stream
-// seed, carrying the engine-wide worker count and batch size.
-func (e *engine) sampleOpts(seed uint64) rrset.SampleOptions {
-	return rrset.SampleOptions{
-		Workers:   e.opt.Workers,
-		BatchSize: e.opt.SampleBatch,
-		Seed:      seed,
+// gammaKey builds the ShareSamples grouping key for a topic distribution.
+// Keying on normalized math.Float64bits — rather than a formatted string —
+// guarantees that numerically identical distributions always share one
+// RR-set universe: -0.0 and 0.0 produce identical edge probabilities (a
+// zero topic weight contributes nothing to Eq. 1) yet format differently,
+// and any NaN is mapped to one canonical bit pattern so NaN ≠ NaN
+// semantics cannot split a group.
+func gammaKey(gamma []float64) string {
+	nanBits := math.Float64bits(math.NaN())
+	buf := make([]byte, 8*len(gamma))
+	for i, x := range gamma {
+		bits := math.Float64bits(x)
+		switch {
+		case x == 0: // collapses -0.0 onto 0.0
+			bits = 0
+		case math.IsNaN(x):
+			bits = nanBits
+		}
+		binary.LittleEndian.PutUint64(buf[8*i:], bits)
 	}
+	return string(buf)
 }
 
 // thetaFor computes the target sample size for seed-set size s, capped by

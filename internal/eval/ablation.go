@@ -90,7 +90,7 @@ func SharingAblation(dataset string, hs []int, params Params,
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("Ablation: RR-sample sharing across ads (%s)", dataset),
-		Header: []string{"h", "sharing", "memory-mb", "revenue", "seeds"},
+		Header: []string{"h", "sharing", "memory-mb", "sampler-mb", "revenue", "seeds"},
 	}
 	for _, h := range hs {
 		hp := params
@@ -109,12 +109,14 @@ func SharingAblation(dataset string, hs []int, params Params,
 				MaxThetaPerAd: hp.MaxThetaPerAd,
 				ShareSamples:  share,
 				Workers:       hp.SampleWorkers,
+				SampleBatch:   hp.SampleBatch,
 			})
 			if err != nil {
 				return nil, err
 			}
 			ev := core.EvaluateMC(p, alloc, hp.MCEvalRuns, hp.Workers, hp.Seed^0xabcdef)
 			t.Append(h, share, float64(stats.RRMemoryBytes)/(1<<20),
+				float64(stats.SamplerMemoryBytes)/(1<<20),
 				ev.TotalRevenue(), alloc.NumSeeds())
 		}
 	}

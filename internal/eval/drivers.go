@@ -292,15 +292,16 @@ func WindowTradeoffTable(points []WindowPoint) *Table {
 
 // ScalePoint is one scalability measurement.
 type ScalePoint struct {
-	Dataset   string
-	Algorithm Algorithm
-	H         int
-	Budget    float64
-	Duration  time.Duration
-	MemBytes  int64
-	Seeds     int
-	RRSets    int64 // total RR sets sampled
-	Workers   int   // RR-sampling workers per advertiser
+	Dataset      string
+	Algorithm    Algorithm
+	H            int
+	Budget       float64
+	Duration     time.Duration
+	MemBytes     int64 // RR-set store footprint (collections/universes)
+	SamplerBytes int64 // shared sampling-pool scratch, O(workers·n)
+	Seeds        int
+	RRSets       int64 // total RR sets sampled
+	Workers      int   // RR-sampling scratch slots for the run
 }
 
 // RRThroughput returns RR sets sampled per second of algorithm runtime.
@@ -356,7 +357,8 @@ func ScalabilityAdvertisers(dataset string, hs []int, budget float64, params Par
 			}
 			out = append(out, ScalePoint{
 				Dataset: dataset, Algorithm: alg, H: h, Budget: scaledBudget,
-				Duration: res.Duration, MemBytes: res.MemBytes, Seeds: res.Seeds,
+				Duration: res.Duration, MemBytes: res.MemBytes,
+				SamplerBytes: res.SamplerBytes, Seeds: res.Seeds,
 				RRSets: res.RRSets, Workers: res.SampleWorkers,
 			})
 		}
@@ -397,7 +399,8 @@ func ScalabilityBudget(dataset string, budgets []float64, params Params,
 			}
 			out = append(out, ScalePoint{
 				Dataset: dataset, Algorithm: alg, H: h, Budget: scaled,
-				Duration: res.Duration, MemBytes: res.MemBytes, Seeds: res.Seeds,
+				Duration: res.Duration, MemBytes: res.MemBytes,
+				SamplerBytes: res.SamplerBytes, Seeds: res.Seeds,
 				RRSets: res.RRSets, Workers: res.SampleWorkers,
 			})
 		}
@@ -421,15 +424,21 @@ func RuntimeTable(points []ScalePoint, sweep string) *Table {
 }
 
 // MemoryTable renders Table 3 (RR-set memory in MB) from scalability
-// points.
+// points. The paper's single memory column is split into the RR-set
+// stores (rrsets-mb), the shared sampling pool's worker scratch
+// (sampler-mb, O(workers·n) per run regardless of h), and their total —
+// the pre-pool engine neither bounded nor counted the scratch.
 func MemoryTable(points []ScalePoint) *Table {
 	t := &Table{
-		Title:  "Table 3: RR-set memory usage (MB)",
-		Header: []string{"dataset", "algorithm", "h", "memory-mb", "seeds"},
+		Title: "Table 3: RR-set memory usage (MB)",
+		Header: []string{"dataset", "algorithm", "h", "rrsets-mb", "sampler-mb",
+			"total-mb", "seeds"},
 	}
 	for _, pt := range points {
 		t.Append(pt.Dataset, pt.Algorithm.String(), pt.H,
-			float64(pt.MemBytes)/(1<<20), pt.Seeds)
+			float64(pt.MemBytes)/(1<<20),
+			float64(pt.SamplerBytes)/(1<<20),
+			float64(pt.MemBytes+pt.SamplerBytes)/(1<<20), pt.Seeds)
 	}
 	return t
 }

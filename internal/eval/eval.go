@@ -92,11 +92,15 @@ type Params struct {
 	SingletonRuns int
 	// Workers bounds simulation parallelism (default NumCPU).
 	Workers int
-	// SampleWorkers is the RR-sampling worker count per advertiser passed
-	// to the engine. 0 and 1 both select the single-worker path that is
-	// bit-identical to sequential sampling, keeping seed-pinned
-	// experiment outputs stable by default.
+	// SampleWorkers is the engine's RR-sampling worker count — the size
+	// of the shared scratch pool each run allocates. 0 and 1 both select
+	// the single-worker path that is bit-identical to sequential
+	// sampling, keeping seed-pinned experiment outputs stable by default.
 	SampleWorkers int
+	// SampleBatch is the sampling pool's per-worker batch size (0 =
+	// rrset.DefaultBatchSize); part of the determinism key for
+	// SampleWorkers > 1.
+	SampleBatch int
 	// AlphaPoints is the number of α grid points per incentive model
 	// (default 5, as in Figures 2–3).
 	AlphaPoints int
@@ -264,10 +268,11 @@ type RunResult struct {
 	SeedCost      float64 // Σ c_i(S_i)
 	Seeds         int
 	Duration      time.Duration
-	MemBytes      int64
+	MemBytes      int64 // RR-set store footprint (collections/universes)
+	SamplerBytes  int64 // shared sampling pool scratch, O(workers·n)
 	Theta         []int
 	RRSets        int64 // total RR sets sampled across ads
-	SampleWorkers int   // RR-sampling workers per advertiser
+	SampleWorkers int   // RR-sampling scratch slots for the run
 }
 
 // RRThroughput returns the sampling-dominated runs' headline rate: RR sets
@@ -295,6 +300,7 @@ func RunAlgorithm(p *core.Problem, alg Algorithm, params Params, prScores [][]fl
 		Seed:          params.Seed,
 		MaxThetaPerAd: params.MaxThetaPerAd,
 		Workers:       params.SampleWorkers,
+		SampleBatch:   params.SampleBatch,
 	}
 	var (
 		alloc *core.Allocation
@@ -335,6 +341,7 @@ func RunAlgorithm(p *core.Problem, alg Algorithm, params Params, prScores [][]fl
 		Seeds:         alloc.NumSeeds(),
 		Duration:      stats.Duration,
 		MemBytes:      stats.RRMemoryBytes,
+		SamplerBytes:  stats.SamplerMemoryBytes,
 		Theta:         stats.Theta,
 		RRSets:        stats.TotalRRSets,
 		SampleWorkers: stats.SampleWorkers,

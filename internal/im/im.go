@@ -117,6 +117,21 @@ type TIMOptions struct {
 	// sequential sampler under the same RNG; larger values parallelize
 	// sampling deterministically for a fixed (seed, Workers).
 	Workers int
+	// Pool optionally supplies a shared RR-sampling scratch pool. When
+	// nil, each call constructs a private pool of Workers slots; passing
+	// one pool across many TIM/IMM/BudgetedGreedy calls (or sharing the
+	// revenue engine's) keeps worker scratch at O(Workers·n) total. The
+	// pool's worker count then overrides Workers for sampling.
+	Pool *rrset.Pool
+}
+
+// poolFor returns the configured shared pool, or a private one sized by
+// Workers. Call on an options value that already has defaults applied.
+func (o TIMOptions) poolFor(g *graph.Graph) *rrset.Pool {
+	if o.Pool != nil {
+		return o.Pool
+	}
+	return rrset.NewPool(g, rrset.PoolOptions{Workers: o.Workers})
 }
 
 func (o TIMOptions) withDefaults() TIMOptions {
@@ -148,9 +163,9 @@ func TIM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 	if k == 0 || n == 0 {
 		return Result{}
 	}
-	kptSampler := rrset.NewParallelSampler(g, probs,
-		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()})
-	kpt := rrset.KptEstimateParallel(kptSampler, g.NumEdges(), n, k, opt.Ell)
+	pool := opt.poolFor(g)
+	kpt := rrset.KptEstimateParallel(pool.NewStream(probs, rng.Uint64()),
+		g.NumEdges(), n, k, opt.Ell)
 
 	theta := int(math.Ceil(rrset.Threshold(n, k, opt.Epsilon, opt.Ell, kpt)))
 	if theta > opt.MaxTheta {
@@ -160,8 +175,7 @@ func TIM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		theta = 1
 	}
 	coll := rrset.NewCollection(g.NumNodes())
-	coll.AddFromParallel(rrset.NewParallelSampler(g, probs,
-		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()}), theta)
+	coll.AddFromParallel(pool.NewStream(probs, rng.Uint64()), theta)
 
 	seeds := make([]int32, 0, k)
 	for len(seeds) < k {

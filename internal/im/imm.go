@@ -50,8 +50,8 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		(logNChooseK + ellPrime*math.Log(float64(n)) + math.Log(2)))
 	lambdaStar := 2 * float64(n) * (((1-1/math.E)*alpha + beta) / eps) * (((1-1/math.E)*alpha + beta) / eps)
 
-	sampler := rrset.NewParallelSampler(g, probs,
-		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()})
+	pool := opt.poolFor(g)
+	sampler := pool.NewStream(probs, rng.Uint64())
 	coll := rrset.NewCollection(g.NumNodes())
 	lb := 1.0
 	maxRounds := int(math.Log2(float64(n)))
@@ -66,12 +66,24 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		}
 		// Greedy max coverage on a throwaway replay of the collection.
 		frac := greedyCoverageFraction(coll, g.NumNodes(), k)
+		cand := float64(n) * frac / (1 + epsPrime)
 		if float64(n)*frac >= (1+epsPrime)*x {
-			lb = float64(n) * frac / (1 + epsPrime)
+			lb = cand
 			break
 		}
 		if thetaI >= opt.MaxTheta {
-			break // capped: accept the trivial bound
+			// Capped before the coverage test ever passed: carry this
+			// round's coverage-derived bound n·F/(1+ε') instead of the
+			// trivial lb = 1 (the old behavior), which inflated the final
+			// sample straight to MaxTheta. The collection is cumulative, so
+			// this capped round's estimate comes from the largest sample —
+			// and the very θ = MaxTheta the final phase is limited to —
+			// making it the round whose greedy coverage is least overfit
+			// (earlier, smaller rounds only ever inflate the bound).
+			if cand > 1 {
+				lb = cand
+			}
+			break
 		}
 	}
 
@@ -80,8 +92,7 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		theta = opt.MaxTheta
 	}
 	final := rrset.NewCollection(g.NumNodes())
-	final.AddFromParallel(rrset.NewParallelSampler(g, probs,
-		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()}), theta)
+	final.AddFromParallel(pool.NewStream(probs, rng.Uint64()), theta)
 	seeds := make([]int32, 0, k)
 	for len(seeds) < k {
 		v, cnt := final.MaxCovCount(nil)
@@ -137,8 +148,7 @@ func BudgetedGreedy(g *graph.Graph, probs []float32, costs []float64, budget flo
 	}
 	opt = opt.withDefaults()
 	base := rrset.NewCollection(g.NumNodes())
-	base.AddFromParallel(rrset.NewParallelSampler(g, probs,
-		rrset.SampleOptions{Workers: opt.Workers, Seed: rng.Uint64()}), theta)
+	base.AddFromParallel(opt.poolFor(g).NewStream(probs, rng.Uint64()), theta)
 
 	run := func(costSensitive bool) ([]int32, float64) {
 		c := rrset.NewCollection(g.NumNodes())

@@ -1,0 +1,64 @@
+package im
+
+import (
+	"testing"
+
+	"repro/internal/rrset"
+	"repro/internal/xrand"
+)
+
+// When the LB search hits the MaxTheta cap before its coverage test ever
+// passes, IMM must carry the best coverage-derived bound n·F/(1+ε') seen
+// so far instead of silently falling back to the trivial lb = 1 (which
+// inflated the final sample straight to MaxTheta). On a hub graph even
+// one greedy seed covers most sets, so the carried bound is far above 1.
+func TestIMMCappedLBCarriesCoverageBound(t *testing.T) {
+	g, probs := starGraph(40)
+	// MaxTheta far below λ'/x_1, so round 1 is already capped.
+	res := IMM(g, probs, 1, TIMOptions{Epsilon: 0.2, MaxTheta: 50}, xrand.New(3))
+	if res.Kpt <= 1 {
+		t.Errorf("capped LB search kept the trivial bound: lb=%v", res.Kpt)
+	}
+	if res.Theta > 50 {
+		t.Errorf("final theta %d exceeds MaxTheta", res.Theta)
+	}
+	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
+		t.Errorf("capped IMM seeds = %v, want [0]", res.Seeds)
+	}
+}
+
+// TIM, IMM and BudgetedGreedy sampling through one shared pool must
+// reproduce their private-pool results exactly: the pool only changes
+// where scratch lives, never the emitted RR-set stream.
+func TestSharedPoolMatchesPrivatePools(t *testing.T) {
+	g, probs := starGraph(30)
+	// Same (Workers, BatchSize) as the private pools poolFor constructs —
+	// the batch size is part of the determinism key.
+	pool := rrset.NewPool(g, rrset.PoolOptions{Workers: 2})
+	private := TIMOptions{Epsilon: 0.2, MaxTheta: 20000, Workers: 2}
+	shared := private
+	shared.Pool = pool
+
+	timA := TIM(g, probs, 2, private, xrand.New(9))
+	timB := TIM(g, probs, 2, shared, xrand.New(9))
+	if timA.Theta != timB.Theta || timA.Kpt != timB.Kpt ||
+		timA.SpreadEstimate != timB.SpreadEstimate {
+		t.Errorf("TIM diverges on shared pool: %+v vs %+v", timA, timB)
+	}
+
+	immA := IMM(g, probs, 2, private, xrand.New(10))
+	immB := IMM(g, probs, 2, shared, xrand.New(10))
+	if immA.Theta != immB.Theta || immA.SpreadEstimate != immB.SpreadEstimate {
+		t.Errorf("IMM diverges on shared pool: %+v vs %+v", immA, immB)
+	}
+
+	costs := make([]float64, g.NumNodes())
+	for i := range costs {
+		costs[i] = 1
+	}
+	bgA := BudgetedGreedy(g, probs, costs, 3, 500, private, xrand.New(11))
+	bgB := BudgetedGreedy(g, probs, costs, 3, 500, shared, xrand.New(11))
+	if bgA.SpreadEstimate != bgB.SpreadEstimate || len(bgA.Seeds) != len(bgB.Seeds) {
+		t.Errorf("BudgetedGreedy diverges on shared pool: %+v vs %+v", bgA, bgB)
+	}
+}

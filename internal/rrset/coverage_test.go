@@ -1,0 +1,69 @@
+package rrset
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// coverageOfBrute is the reference implementation CoverageOf replaced: a
+// fresh membership map and a scan over every stored set.
+func coverageOfBrute(c *Collection, S []int32) int {
+	if len(S) == 0 {
+		return 0
+	}
+	inS := make(map[int32]bool, len(S))
+	for _, v := range S {
+		inS[v] = true
+	}
+	hit := 0
+	for _, set := range c.sets {
+		for _, x := range set {
+			if inS[x] {
+				hit++
+				break
+			}
+		}
+	}
+	return hit
+}
+
+// The epoch-stamped CoverageOf must agree with the brute-force reference
+// on random workloads, across repeated queries (epoch reuse), duplicate
+// seed lists, covered sets, and collection growth between queries (mark
+// array reallocation).
+func TestCoverageOfMatchesBruteForce(t *testing.T) {
+	rng := xrand.New(61)
+	g := newTestGraph(rng)
+	probs := testProbs(g.NumEdges(), 0.15)
+	s := NewSampler(g, probs, xrand.New(5))
+	c := NewCollection(g.NumNodes())
+	c.AddFrom(s, 300)
+
+	queries := [][]int32{
+		nil,
+		{0},
+		{0, 0, 7, 7}, // duplicates must not double-count
+		{3, 50, 120, 199},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	}
+	check := func(stage string) {
+		t.Helper()
+		for qi, S := range queries {
+			want := coverageOfBrute(c, S)
+			if got := c.CoverageOf(S); got != want {
+				t.Errorf("%s query %d: CoverageOf = %d, want %d", stage, qi, got, want)
+			}
+		}
+	}
+	check("initial")
+
+	// Covered sets still count toward raw coverage.
+	c.CoverBy(0)
+	c.CoverBy(42)
+	check("after CoverBy")
+
+	// Growth after a query forces the mark array to be rebuilt.
+	c.AddFrom(s, 150)
+	check("after growth")
+}

@@ -1,11 +1,7 @@
 package rrset
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/graph"
-	"repro/internal/xrand"
 )
 
 // DefaultBatchSize is the number of RR sets a worker accumulates locally
@@ -33,163 +29,78 @@ type SampleOptions struct {
 	Seed uint64
 }
 
-func (o SampleOptions) withDefaults() SampleOptions {
-	if o.Workers <= 0 {
-		o.Workers = runtime.NumCPU()
-	}
-	if o.BatchSize <= 0 {
-		o.BatchSize = DefaultBatchSize
-	}
-	return o
-}
-
 // sample is one drawn RR set with its width w(R).
 type sample struct {
 	nodes []int32
 	width int64
 }
 
-// ParallelSampler draws random RR sets for one ad on a pool of workers,
-// each with a private Sampler and a deterministic xrand.RNG stream split
-// from a common seed.
+// SampleSource is anything that emits a deterministic stream of RR sets:
+// a Stream scheduled on a shared Pool, or a self-contained
+// ParallelSampler. The caller owns each emitted node slice.
+type SampleSource interface {
+	SampleN(count int, yield func(nodes []int32, width int64))
+}
+
+var (
+	_ SampleSource = (*Stream)(nil)
+	_ SampleSource = (*ParallelSampler)(nil)
+)
+
+// ParallelSampler draws random RR sets for one ad on a private Pool of
+// scratch slots. It is the self-contained front end kept for standalone
+// use; components that sample for many ads at once (the engine, TIM, IMM)
+// share one Pool across Streams instead, so their scratch stays
+// O(Workers·n) regardless of advertiser count.
 //
-// Work is distributed statically: the output stream is divided into
-// batches of BatchSize sets, and batch b is produced by worker b mod W
-// from its own RNG stream. The merger consumes batches in global order
-// over per-worker channels, so the sequence of emitted sets depends only
+// Determinism is the Stream contract: the emitted sequence depends only
 // on (Seed, Workers, BatchSize) and the sequence of SampleN calls — never
-// on goroutine scheduling. Static assignment is what buys determinism; a
-// dynamic queue would balance load marginally better but tie the
-// RNG-to-set mapping to the scheduler.
-//
-// A ParallelSampler is stateful (worker RNG streams advance across calls)
-// and must not be used from multiple goroutines at once; distinct
-// ParallelSamplers are fully independent.
+// on goroutine scheduling. A ParallelSampler is stateful (its RNG streams
+// advance across calls) and must not be used from multiple goroutines at
+// once; distinct ParallelSamplers are fully independent.
 type ParallelSampler struct {
-	g     *graph.Graph
-	probs []float32
-	// rngs holds every worker's pre-split stream (fixed at construction,
-	// so laziness below cannot perturb determinism); workers[i] is built
-	// on first use, because a worker only materializes its per-sampler
-	// state (a visited array of NumNodes int64s) once a request actually
-	// reaches its batches — small requests like early KPT rounds touch
-	// only worker 0.
-	rngs    []*xrand.RNG
-	workers []*Sampler
-	batch   int
+	*Stream
+	pool *Pool
 }
 
 // NewParallelSampler builds a worker pool for the given graph and
 // ad-specific arc probabilities. With opts.Workers == 1 the pool degrades
-// to exactly NewSampler(g, probs, xrand.New(opts.Seed)) driven inline —
-// no goroutines, no channels — so single-worker runs reproduce the
-// sequential sampler bit for bit.
+// to exactly NewSampler(g, probs, xrand.New(opts.Seed)) driven inline on
+// the calling goroutine, so single-worker runs reproduce the sequential
+// sampler bit for bit.
 func NewParallelSampler(g *graph.Graph, probs []float32, opts SampleOptions) *ParallelSampler {
-	opts = opts.withDefaults()
-	parent := xrand.New(opts.Seed)
-	ps := &ParallelSampler{g: g, probs: probs, batch: opts.BatchSize}
-	if opts.Workers == 1 {
-		ps.workers = []*Sampler{NewSampler(g, probs, parent)}
-		return ps
-	}
-	ps.workers = make([]*Sampler, opts.Workers)
-	ps.rngs = make([]*xrand.RNG, opts.Workers)
-	for i := range ps.rngs {
-		ps.rngs[i] = parent.Split()
-	}
-	return ps
-}
-
-// worker returns worker wi's Sampler, building it on first use. Callers
-// must invoke it from a single goroutine (SampleN does, before spawning).
-func (ps *ParallelSampler) worker(wi int) *Sampler {
-	if ps.workers[wi] == nil {
-		ps.workers[wi] = NewSampler(ps.g, ps.probs, ps.rngs[wi])
-	}
-	return ps.workers[wi]
+	pool := NewPool(g, PoolOptions{Workers: opts.Workers, BatchSize: opts.BatchSize})
+	return &ParallelSampler{Stream: pool.NewStream(probs, opts.Seed), pool: pool}
 }
 
 // NumWorkers returns the size of the worker pool.
-func (ps *ParallelSampler) NumWorkers() int { return len(ps.workers) }
+func (ps *ParallelSampler) NumWorkers() int { return ps.pool.Workers() }
 
-// SampleN draws count RR sets and hands each — member nodes (caller owns
-// the slice) and width — to yield, which runs on the calling goroutine.
-// The emission order is deterministic for a fixed sampler configuration.
-func (ps *ParallelSampler) SampleN(count int, yield func(nodes []int32, width int64)) {
-	if count <= 0 {
-		return
-	}
-	if len(ps.workers) == 1 {
-		s := ps.workers[0]
-		for i := 0; i < count; i++ {
-			yield(s.Sample())
-		}
-		return
-	}
-	w := len(ps.workers)
-	numBatches := (count + ps.batch - 1) / ps.batch
-	active := w
-	if numBatches < active {
-		active = numBatches // trailing workers have no batch; don't spawn them
-	}
-	// One channel per worker keeps batches from a single RNG stream in
-	// order without a reorder buffer: the merger pops batch b from channel
-	// b mod W, mirroring the static assignment.
-	chans := make([]chan []sample, active)
-	for i := range chans {
-		chans[i] = make(chan []sample, 2)
-	}
-	var wg sync.WaitGroup
-	for wi := 0; wi < active; wi++ {
-		wg.Add(1)
-		s := ps.worker(wi)
-		go func(wi int, s *Sampler) {
-			defer wg.Done()
-			for b := wi; b < numBatches; b += w {
-				lo := b * ps.batch
-				hi := lo + ps.batch
-				if hi > count {
-					hi = count
-				}
-				batch := make([]sample, hi-lo)
-				for j := range batch {
-					nodes, width := s.Sample()
-					batch[j] = sample{nodes: nodes, width: width}
-				}
-				chans[wi] <- batch
-			}
-			close(chans[wi])
-		}(wi, s)
-	}
-	for b := 0; b < numBatches; b++ {
-		for _, smp := range <-chans[b%w] {
-			yield(smp.nodes, smp.width)
-		}
-	}
-	wg.Wait()
+// Pool returns the sampler's private scratch pool (for memory accounting).
+func (ps *ParallelSampler) Pool() *Pool { return ps.pool }
+
+// AddFromParallel samples count RR sets from the source into the
+// collection. Indexing happens on the caller's goroutine while workers
+// keep sampling, so the collection needs no internal locking. With a
+// single-worker source it is equivalent to AddFrom on the underlying
+// sequential sampler.
+func (c *Collection) AddFromParallel(src SampleSource, count int) {
+	src.SampleN(count, func(nodes []int32, _ int64) { c.Add(nodes) })
 }
 
-// AddFromParallel samples count RR sets from the pool into the collection.
-// Indexing happens on the caller's goroutine while workers keep sampling,
-// so the collection needs no internal locking. With a single-worker pool
-// it is equivalent to AddFrom on the underlying sequential sampler.
-func (c *Collection) AddFromParallel(ps *ParallelSampler, count int) {
-	ps.SampleN(count, func(nodes []int32, _ int64) { c.Add(nodes) })
-}
-
-// AddFromParallel samples count RR sets from the pool into the universe;
-// see Collection.AddFromParallel for the concurrency contract.
-func (u *Universe) AddFromParallel(ps *ParallelSampler, count int) {
-	ps.SampleN(count, func(nodes []int32, _ int64) { u.Add(nodes) })
+// AddFromParallel samples count RR sets from the source into the
+// universe; see Collection.AddFromParallel for the concurrency contract.
+func (u *Universe) AddFromParallel(src SampleSource, count int) {
+	src.SampleN(count, func(nodes []int32, _ int64) { u.Add(nodes) })
 }
 
 // KptEstimateParallel is KptEstimate drawing its geometric batches from a
-// worker pool. The κ(R) terms are accumulated in the pool's deterministic
-// emission order, so the estimate is reproducible for a fixed
-// configuration, and a single-worker pool reproduces the sequential
-// KptEstimate bit for bit.
-func KptEstimateParallel(ps *ParallelSampler, m, n int64, size int, ell float64) float64 {
+// sample source. The κ(R) terms are accumulated in the source's
+// deterministic emission order, so the estimate is reproducible for a
+// fixed configuration, and a single-worker source reproduces the
+// sequential KptEstimate bit for bit.
+func KptEstimateParallel(src SampleSource, m, n int64, size int, ell float64) float64 {
 	return kptEstimate(func(count int, yield func(width int64)) {
-		ps.SampleN(count, func(_ []int32, width int64) { yield(width) })
+		src.SampleN(count, func(_ []int32, width int64) { yield(width) })
 	}, m, n, size, ell)
 }

@@ -1,0 +1,290 @@
+package rrset
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// scratch is one worker's reusable per-sample state: the epoch-stamped
+// visited array and the BFS queue. It carries no RNG and no probabilities,
+// so one scratch slot can serve any ad's stream — visited entries from a
+// previous borrower are invalidated by the monotone epoch, never by
+// clearing the 8n-byte array.
+type scratch struct {
+	visited []int64
+	epoch   int64
+	queue   []int32
+	// accQueue is the queue capacity (bytes) already folded into the
+	// owning pool's scratchBytes high-water mark; updated on release.
+	accQueue int64
+}
+
+// sample draws one random RR set using this scratch: the lazy reverse BFS
+// of Borgs et al. (SODA 2014). The returned node slice is freshly
+// allocated and owned by the caller; scratch state is reusable immediately.
+func (sc *scratch) sample(g *graph.Graph, probs []float32, rng *xrand.RNG) (nodes []int32, width int64) {
+	if int64(len(sc.visited)) < int64(g.NumNodes()) {
+		sc.visited = make([]int64, g.NumNodes())
+		sc.epoch = 0
+	}
+	sc.epoch++
+	target := rng.Int31n(g.NumNodes())
+	sc.visited[target] = sc.epoch
+	q := append(sc.queue[:0], target)
+	nodes = append(nodes, target)
+	width = int64(g.InDegree(target))
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		srcs := g.InNeighbors(v)
+		ids := g.InEdgeIDs(v)
+		for i, u := range srcs {
+			if sc.visited[u] == sc.epoch {
+				continue
+			}
+			p := probs[ids[i]]
+			if p > 0 && rng.Float64() < float64(p) {
+				sc.visited[u] = sc.epoch
+				q = append(q, u)
+				nodes = append(nodes, u)
+				width += int64(g.InDegree(u))
+			}
+		}
+	}
+	sc.queue = q[:0]
+	return nodes, width
+}
+
+// PoolOptions configures a Pool.
+type PoolOptions struct {
+	// Workers is the number of scratch slots, which bounds both scratch
+	// memory (Workers visited arrays of 8n bytes) and the number of
+	// concurrently sampling goroutines across every stream sharing the
+	// pool. 0 means runtime.NumCPU().
+	Workers int
+	// BatchSize is how many RR sets a stream worker produces per slot
+	// checkout and per merge flush (0 = DefaultBatchSize). It is part of
+	// every stream's determinism key (Seed, Workers, BatchSize).
+	BatchSize int
+}
+
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// Pool is an engine-wide set of Workers reusable scratch slots for RR-set
+// sampling on one graph. Any number of Streams — one per (ad, purpose) —
+// borrow slots batch by batch, so total scratch memory is O(Workers·n)
+// for the whole run, independent of how many advertisers sample through
+// it (the pre-pool design kept one visited array per worker per ad:
+// O(h·Workers·n)).
+//
+// Slot checkout is a buffered channel: deadlock-free because a slot is
+// held only across one batch of pure computation, never across a channel
+// send or a yield to the caller. Scratch identity does not influence any
+// emitted set (randomness lives in the streams' RNGs, membership tests in
+// monotone epochs), so slot scheduling — which IS timing-dependent —
+// cannot perturb the deterministic output contract.
+type Pool struct {
+	g     *graph.Graph
+	batch int
+	slots []*scratch
+	free  chan *scratch
+	// scratchBytes is the high-water scratch footprint: visited arrays
+	// are added at materialization, queue growth is folded in on release.
+	scratchBytes atomic.Int64
+}
+
+// NewPool builds a pool of opts.Workers scratch slots for the graph.
+// Visited arrays are materialized lazily on first checkout, so a pool
+// whose early requests are small (KPT's first rounds) touches only the
+// slots it actually uses.
+func NewPool(g *graph.Graph, opts PoolOptions) *Pool {
+	opts = opts.withDefaults()
+	p := &Pool{
+		g:     g,
+		batch: opts.BatchSize,
+		slots: make([]*scratch, opts.Workers),
+		free:  make(chan *scratch, opts.Workers),
+	}
+	for i := range p.slots {
+		p.slots[i] = &scratch{}
+		p.free <- p.slots[i]
+	}
+	return p
+}
+
+// Workers returns the number of scratch slots.
+func (p *Pool) Workers() int { return len(p.slots) }
+
+// BatchSize returns the per-checkout batch size.
+func (p *Pool) BatchSize() int { return p.batch }
+
+// acquire checks out a scratch slot, blocking until one is free, and
+// materializes its visited array on first use.
+func (p *Pool) acquire() *scratch {
+	sc := <-p.free
+	if sc.visited == nil {
+		sc.visited = make([]int64, p.g.NumNodes())
+		p.scratchBytes.Add(int64(p.g.NumNodes()) * 8)
+	}
+	return sc
+}
+
+// release returns a slot, folding any BFS-queue growth into the
+// footprint high-water mark (single adder per slot, so no lost updates).
+func (p *Pool) release(sc *scratch) {
+	if c := int64(cap(sc.queue)) * 4; c > sc.accQueue {
+		p.scratchBytes.Add(c - sc.accQueue)
+		sc.accQueue = c
+	}
+	p.free <- sc
+}
+
+// MemoryFootprint returns the pool's scratch high-water mark in bytes:
+// materialized visited arrays plus grown BFS queues. It is O(Workers·n)
+// by construction and safe to read concurrently with sampling.
+func (p *Pool) MemoryFootprint() int64 { return p.scratchBytes.Load() }
+
+// Stream draws random RR sets for one ad (one arc-probability slice) on a
+// shared Pool. It owns only the lightweight deterministic state — the
+// probabilities and the pre-split per-worker RNG streams — and borrows
+// scratch from the pool batch by batch.
+//
+// Work distribution is the static-batch design the pool inherits from the
+// original per-ad sampler: the output stream is divided into batches of
+// the pool's BatchSize, batch b is produced from RNG stream b mod W, and
+// a merger consumes batches in global order. The emitted sequence is a
+// pure function of (seed, pool Workers, pool BatchSize) and the sequence
+// of SampleN calls — never of goroutine scheduling or slot contention.
+//
+// A Stream is stateful (its RNG streams advance across calls) and must
+// not be used from multiple goroutines at once; distinct Streams on one
+// pool are independent and may run SampleN concurrently — they contend
+// only for scratch slots.
+type Stream struct {
+	pool  *Pool
+	probs []float32
+	rngs  []*xrand.RNG
+}
+
+// NewStream builds a stream of RR sets for the given ad-specific arc
+// probabilities, seeded exactly as the historical per-ad sampler: with
+// one pool worker the stream consumes xrand.New(seed) directly and is
+// bit-identical to NewSampler(g, probs, xrand.New(seed)); with W > 1
+// workers each RNG stream is an independent Split of that parent, fixed
+// at construction.
+func (p *Pool) NewStream(probs []float32, seed uint64) *Stream {
+	if int64(len(probs)) != p.g.NumEdges() {
+		panic("rrset: stream probs length != graph edges")
+	}
+	parent := xrand.New(seed)
+	s := &Stream{pool: p, probs: probs}
+	if len(p.slots) == 1 {
+		s.rngs = []*xrand.RNG{parent}
+		return s
+	}
+	s.rngs = make([]*xrand.RNG, len(p.slots))
+	for i := range s.rngs {
+		s.rngs[i] = parent.Split()
+	}
+	return s
+}
+
+// SampleN draws count RR sets and hands each — member nodes (caller owns
+// the slice) and width w(R) — to yield, which runs on the calling
+// goroutine. The emission order is deterministic for a fixed stream
+// configuration.
+func (s *Stream) SampleN(count int, yield func(nodes []int32, width int64)) {
+	if count <= 0 {
+		return
+	}
+	p := s.pool
+	if len(s.rngs) == 1 {
+		// Single-worker path: sequential sampling on the calling
+		// goroutine. Each batch is drawn into a reused buffer with the
+		// slot held, then released *before* yielding — the same
+		// slot-never-held-across-a-yield rule as the multi-worker path
+		// (so a yield that itself samples through the pool cannot
+		// self-deadlock), which also lets concurrent streams interleave
+		// fairly on the one slot.
+		rng := s.rngs[0]
+		bufCap := p.batch
+		if count < bufCap {
+			bufCap = count
+		}
+		buf := make([]sample, 0, bufCap)
+		for done := 0; done < count; {
+			chunk := p.batch
+			if chunk > count-done {
+				chunk = count - done
+			}
+			sc := p.acquire()
+			buf = buf[:0]
+			for i := 0; i < chunk; i++ {
+				nodes, width := sc.sample(p.g, s.probs, rng)
+				buf = append(buf, sample{nodes: nodes, width: width})
+			}
+			p.release(sc)
+			for _, smp := range buf {
+				yield(smp.nodes, smp.width)
+			}
+			done += chunk
+		}
+		return
+	}
+	w := len(s.rngs)
+	numBatches := (count + p.batch - 1) / p.batch
+	active := w
+	if numBatches < active {
+		active = numBatches // trailing RNG streams have no batch this call
+	}
+	// One channel per RNG stream keeps its batches in order without a
+	// reorder buffer: the merger pops batch b from channel b mod W.
+	chans := make([]chan []sample, active)
+	for i := range chans {
+		chans[i] = make(chan []sample, 2)
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < active; wi++ {
+		wg.Add(1)
+		go func(wi int, rng *xrand.RNG) {
+			defer wg.Done()
+			for b := wi; b < numBatches; b += w {
+				lo := b * p.batch
+				hi := lo + p.batch
+				if hi > count {
+					hi = count
+				}
+				batch := make([]sample, hi-lo)
+				// Borrow scratch for the batch only: the send below can
+				// block on the merger, and holding a slot there would let
+				// concurrent streams starve each other.
+				sc := p.acquire()
+				for j := range batch {
+					nodes, width := sc.sample(p.g, s.probs, rng)
+					batch[j] = sample{nodes: nodes, width: width}
+				}
+				p.release(sc)
+				chans[wi] <- batch
+			}
+			close(chans[wi])
+		}(wi, s.rngs[wi])
+	}
+	for b := 0; b < numBatches; b++ {
+		for _, smp := range <-chans[b%w] {
+			yield(smp.nodes, smp.width)
+		}
+	}
+	wg.Wait()
+}
