@@ -5,6 +5,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -61,7 +62,7 @@ func BenchmarkTable2BudgetStats(b *testing.B) {
 
 func BenchmarkTable3Memory(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := eval.ScalabilityAdvertisers("dblp", []int{1, 2}, 10_000, benchParams(), nil)
+		points, err := eval.ScalabilityAdvertisers(context.Background(), "dblp", []int{1, 2}, 10_000, benchParams(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkFig1Tightness(b *testing.B) {
 func BenchmarkFig2RevenueVsAlpha(b *testing.B) {
 	params := benchParams()
 	for i := 0; i < b.N; i++ {
-		cells, err := eval.QualitySweep(
+		cells, err := eval.QualitySweep(context.Background(),
 			[]string{"epinions"},
 			[]incentive.Kind{incentive.Linear},
 			eval.PaperAlgorithms(),
@@ -99,7 +100,7 @@ func BenchmarkFig2RevenueVsAlpha(b *testing.B) {
 func BenchmarkFig3SeedCostVsAlpha(b *testing.B) {
 	params := benchParams()
 	for i := 0; i < b.N; i++ {
-		cells, err := eval.QualitySweep(
+		cells, err := eval.QualitySweep(context.Background(),
 			[]string{"epinions"},
 			[]incentive.Kind{incentive.Superlinear},
 			eval.PaperAlgorithms(),
@@ -116,7 +117,7 @@ func BenchmarkFig3SeedCostVsAlpha(b *testing.B) {
 func BenchmarkFig4WindowTradeoff(b *testing.B) {
 	params := benchParams()
 	for i := 0; i < b.N; i++ {
-		points, err := eval.WindowTradeoff("epinions", []float64{0.2}, []int{1, 16, 0}, params, nil)
+		points, err := eval.WindowTradeoff(context.Background(), "epinions", []float64{0.2}, []int{1, 16, 0}, params, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkFig4WindowTradeoff(b *testing.B) {
 func BenchmarkFig5RuntimeVsAdvertisers(b *testing.B) {
 	params := benchParams()
 	for i := 0; i < b.N; i++ {
-		points, err := eval.ScalabilityAdvertisers("dblp", []int{1, 2, 4}, 10_000, params, nil)
+		points, err := eval.ScalabilityAdvertisers(context.Background(), "dblp", []int{1, 2, 4}, 10_000, params, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func BenchmarkFig5RuntimeVsAdvertisers(b *testing.B) {
 func BenchmarkFig5RuntimeVsBudget(b *testing.B) {
 	params := benchParams()
 	for i := 0; i < b.N; i++ {
-		points, err := eval.ScalabilityBudget("dblp", []float64{5_000, 10_000}, params, nil)
+		points, err := eval.ScalabilityBudget(context.Background(), "dblp", []float64{5_000, 10_000}, params, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func BenchmarkFig5RuntimeVsBudget(b *testing.B) {
 func BenchmarkAblationCompetition(b *testing.B) {
 	params := benchParams()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.CompetitionAblation("epinions", 0.3, params, nil); err != nil {
+		if _, err := eval.CompetitionAblation(context.Background(), "epinions", 0.3, params, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +167,7 @@ func BenchmarkAblationCompetition(b *testing.B) {
 func BenchmarkAblationSharing(b *testing.B) {
 	params := benchParams()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.SharingAblation("epinions", []int{2, 4}, params, nil); err != nil {
+		if _, err := eval.SharingAblation(context.Background(), "epinions", []int{2, 4}, params, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -315,17 +316,17 @@ func BenchmarkIMAlgorithms(b *testing.B) {
 	const k = 10
 	b.Run("TIM", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			im.TIM(g, probs, k, im.TIMOptions{Epsilon: 0.3, MaxTheta: 100000}, xrand.New(uint64(i)))
+			im.TIM(context.Background(), g, probs, k, im.TIMOptions{Epsilon: 0.3, MaxTheta: 100000}, xrand.New(uint64(i)))
 		}
 	})
 	b.Run("IMM", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			im.IMM(g, probs, k, im.TIMOptions{Epsilon: 0.3, MaxTheta: 100000}, xrand.New(uint64(i)))
+			im.IMM(context.Background(), g, probs, k, im.TIMOptions{Epsilon: 0.3, MaxTheta: 100000}, xrand.New(uint64(i)))
 		}
 	})
 	b.Run("GreedyMC", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			im.GreedyMC(g, probs, k, 200, 2, xrand.New(uint64(i)))
+			im.GreedyMC(context.Background(), g, probs, k, 200, 2, xrand.New(uint64(i)))
 		}
 	})
 	b.Run("SingleDiscount", func(b *testing.B) {

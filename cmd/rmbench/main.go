@@ -13,13 +13,18 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
+	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/incentive"
@@ -43,12 +48,27 @@ var (
 	quiet      = flag.Bool("quiet", false, "suppress progress output")
 	workers    = flag.Int("workers", 1, "RR-sampling scratch slots shared by all ads per run (0 = all CPU cores; 1 = sequential-identical, the paper's setting)")
 	batch      = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default; part of the determinism key for workers > 1)")
+	timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels gracefully")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "rmbench:", err)
+	// Ctrl-C / SIGTERM cancel the experiment contexts; solves in flight
+	// return promptly with partial stats instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx); err != nil {
+		if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "rmbench: canceled (timeout or interrupt):", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "rmbench:", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -132,7 +152,7 @@ func emit(tables ...*eval.Table) error {
 	return nil
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	p, err := params()
 	if err != nil {
 		return err
@@ -148,14 +168,14 @@ func run() error {
 			fmt.Fprintf(os.Stderr, "== running %s (scale=%s, workers=%d) ==\n",
 				id, p.Scale, p.SampleWorkers)
 		}
-		if err := runOne(id, p); err != nil {
+		if err := runOne(ctx, id, p); err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
 	}
 	return nil
 }
 
-func runOne(id string, p eval.Params) error {
+func runOne(ctx context.Context, id string, p eval.Params) error {
 	switch id {
 	case "table1":
 		t, err := eval.DatasetStats(p)
@@ -184,7 +204,7 @@ func runOne(id string, p eval.Params) error {
 		if err != nil {
 			return err
 		}
-		cells, err := eval.QualitySweep(ds, kinds, eval.PaperAlgorithms(), p, progress())
+		cells, err := eval.QualitySweep(ctx, ds, kinds, eval.PaperAlgorithms(), p, progress())
 		if err != nil {
 			return err
 		}
@@ -204,7 +224,7 @@ func runOne(id string, p eval.Params) error {
 		}
 		var tables []*eval.Table
 		for _, ds := range strings.Split(*datasets, ",") {
-			points, err := eval.WindowTradeoff(ds, []float64{0.2, 0.5}, windows, p, progress())
+			points, err := eval.WindowTradeoff(ctx, ds, []float64{0.2, 0.5}, windows, p, progress())
 			if err != nil {
 				return err
 			}
@@ -221,13 +241,13 @@ func runOne(id string, p eval.Params) error {
 		if id == "fig5b" {
 			dataset, budget = "livejournal", 100_000.0
 		}
-		points, err := eval.ScalabilityAdvertisers(dataset, hs, budget, p, progress())
+		points, err := eval.ScalabilityAdvertisers(ctx, dataset, hs, budget, p, progress())
 		if err != nil {
 			return err
 		}
 		if id == "table3" {
 			// Table 3 reports both datasets; run LIVEJOURNAL too.
-			pointsLJ, err := eval.ScalabilityAdvertisers("livejournal", hs, 100_000, p, progress())
+			pointsLJ, err := eval.ScalabilityAdvertisers(ctx, "livejournal", hs, 100_000, p, progress())
 			if err != nil {
 				return err
 			}
@@ -242,7 +262,7 @@ func runOne(id string, p eval.Params) error {
 			dataset = "livejournal"
 			budgets = []float64{50_000, 100_000, 150_000, 200_000, 250_000}
 		}
-		points, err := eval.ScalabilityBudget(dataset, budgets, p, progress())
+		points, err := eval.ScalabilityBudget(ctx, dataset, budgets, p, progress())
 		if err != nil {
 			return err
 		}
@@ -251,7 +271,7 @@ func runOne(id string, p eval.Params) error {
 	case "ablation-competition":
 		var tables []*eval.Table
 		for _, ds := range strings.Split(*datasets, ",") {
-			t, err := eval.CompetitionAblation(ds, 0.3, p, progress())
+			t, err := eval.CompetitionAblation(ctx, ds, 0.3, p, progress())
 			if err != nil {
 				return err
 			}
@@ -264,7 +284,7 @@ func runOne(id string, p eval.Params) error {
 		if err != nil {
 			return err
 		}
-		t, err := eval.SharingAblation("epinions", hs, p, progress())
+		t, err := eval.SharingAblation(ctx, "epinions", hs, p, progress())
 		if err != nil {
 			return err
 		}

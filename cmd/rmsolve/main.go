@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"repro/internal/baseline"
 	"repro/internal/core"
@@ -39,17 +43,33 @@ var (
 	share     = flag.Bool("share", false, "share RR samples across ads with identical topics")
 	workers   = flag.Int("workers", 1, "RR-sampling scratch slots shared by all ads (1 = sequential-identical, machine-independent; 0 = all CPU cores)")
 	batch     = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default; part of the determinism key for workers > 1)")
+	timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit); Ctrl-C also cancels gracefully")
+	progFlag  = flag.Bool("progress", false, "stream solver progress events (θ growth, committed seeds) to stderr")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "rmsolve:", err)
+	// Ctrl-C / SIGTERM cancel the solve context: the engine returns
+	// promptly with ErrCanceled instead of the process dying mid-solve.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if err := run(ctx); err != nil {
+		if errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
+			errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "rmsolve: canceled (timeout or interrupt):", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "rmsolve:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	scale, err := gen.ParseScale(*scaleFlag)
 	if err != nil {
 		return err
@@ -70,30 +90,49 @@ func run() error {
 	}
 	p := w.Problem(kind, *alpha)
 	opt := core.Options{Epsilon: *epsFlag, Window: *window, Seed: *seed,
-		MaxThetaPerAd: *maxTheta, ShareSamples: *share, Workers: nw, SampleBatch: *batch}
+		MaxThetaPerAd: *maxTheta, ShareSamples: *share}
+	if *progFlag {
+		opt.Progress = func(ev core.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "  [%s] ad=%d theta=%d seeds=%d revenue=%.1f\n",
+				ev.Kind, ev.Ad, ev.Theta, ev.Seeds, ev.TotalRevenue)
+		}
+	}
 
+	// One Engine per dataset/model: the workbench already constructed it
+	// with this run's -workers/-batch; every solve and evaluation below is
+	// a session on it.
+	eng := w.Engine()
 	var (
 		alloc *core.Allocation
 		stats *core.Stats
 	)
 	switch strings.ToLower(*algFlag) {
 	case "ti-csrm":
-		alloc, stats, err = core.TICSRM(p, opt)
+		opt.Mode = core.ModeCostSensitive
+		alloc, stats, err = eng.Solve(ctx, p, opt)
 	case "ti-carm":
-		alloc, stats, err = core.TICARM(p, opt)
+		opt.Mode = core.ModeCostAgnostic
+		alloc, stats, err = eng.Solve(ctx, p, opt)
 	case "pagerank-gr":
-		alloc, stats, err = baseline.PageRankGR(p, opt)
+		alloc, stats, err = baseline.PageRankGR(ctx, eng, p, opt)
 	case "pagerank-rr":
-		alloc, stats, err = baseline.PageRankRR(p, opt)
+		alloc, stats, err = baseline.PageRankRR(ctx, eng, p, opt)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algFlag)
 	}
 	if err != nil {
-		return err
+		if stats != nil && errors.Is(err, core.ErrCanceled) {
+			fmt.Fprintf(os.Stderr, "partial work before cancellation: %d RR sets in %v\n",
+				stats.TotalRRSets, stats.Duration.Round(1e6))
+		}
+		return fmt.Errorf("solve failed: %w", err)
 	}
 	// MC evaluation keeps its historical fixed 2-way split: -workers tunes
 	// RR sampling only, so evaluated revenue stays machine-independent.
-	ev := core.EvaluateMC(p, alloc, 2000, 2, *seed^0xabcdef)
+	ev, err := eng.Evaluate(ctx, p, alloc, 2000, 2, *seed^0xabcdef)
+	if err != nil {
+		return fmt.Errorf("evaluation failed: %w", err)
+	}
 
 	throughput := 0.0
 	if s := stats.Duration.Seconds(); s > 0 {

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro"
@@ -47,4 +48,59 @@ func Example() {
 	// seeded every ad: true
 	// seed sets disjoint: true
 	// sampling workers: 2
+}
+
+// The Engine lifecycle: construct one Engine per dataset/topic-model,
+// then run many solver sessions on it. Sessions share the sampling
+// scratch pool and the memoized edge probabilities, honor context
+// cancellation, and are safe to issue concurrently; for a fixed Seed each
+// session's allocation is bit-identical to the legacy one-shot entry
+// points.
+func ExampleEngine() {
+	w, err := repro.NewWorkbench("flixster", repro.Params{
+		Scale: repro.ScaleTiny, H: 2, SingletonRuns: 100,
+	})
+	if err != nil {
+		fmt.Println("workbench:", err)
+		return
+	}
+	p := w.Problem(repro.Linear, 0.2)
+
+	// Construct once (or take the workbench's pre-built one: w.Engine()).
+	eng := repro.NewEngine(w.Dataset.Graph, w.Model, repro.EngineOptions{Workers: 1})
+
+	ctx := context.Background()
+	opt := repro.Options{
+		Mode: repro.ModeCostSensitive, Epsilon: 0.3, Seed: 1, MaxThetaPerAd: 20_000,
+	}
+	// Solve twice on the same Engine: the second session starts warm and,
+	// with the same seed, lands on the identical allocation.
+	a1, _, err := eng.Solve(ctx, p, opt)
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	a2, _, err := eng.Solve(ctx, p, opt)
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	ev, err := eng.Evaluate(ctx, p, a1, 500, 2, 1)
+	if err != nil {
+		fmt.Println("evaluate:", err)
+		return
+	}
+	fmt.Println("sessions agree:", a1.NumSeeds() == a2.NumSeeds() && a1.TotalRevenue() == a2.TotalRevenue())
+	everyAdSeeded := true
+	for _, seeds := range a1.Seeds {
+		if len(seeds) == 0 {
+			everyAdSeeded = false
+		}
+	}
+	fmt.Println("every ad seeded:", everyAdSeeded)
+	fmt.Println("revenue positive:", ev.TotalRevenue() > 0)
+	// Output:
+	// sessions agree: true
+	// every ad seeded: true
+	// revenue positive: true
 }

@@ -1,13 +1,17 @@
 // Quickstart: build a small incentivized-advertising marketplace and let
 // the host allocate seed endorsers with TI-CSRM, the paper's winning
-// algorithm.
+// algorithm — through the Engine lifecycle a production host would use:
+// construct one Engine per dataset, then run many cancellable solver
+// sessions on it (here: a sweep over incentive scales α).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -25,31 +29,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("marketplace: %d users, %d follow arcs, %d advertisers\n",
+	fmt.Printf("marketplace: %d users, %d follow arcs, %d advertisers\n\n",
 		w.Dataset.Graph.NumNodes(), w.Dataset.Graph.NumEdges(), len(w.Ads))
 
-	// Linear incentives: each seed user is paid α times her expected
-	// topic-specific spread.
-	p := w.Problem(repro.Linear, 0.2)
+	// The Engine is constructed once (the workbench did it); every solve
+	// below is a session on it — scratch pool and edge probabilities are
+	// shared, and each session honors its context's deadline.
+	eng := w.Engine()
 
-	alloc, stats, err := repro.TICSRM(p, repro.Options{
-		Epsilon:       0.3,
-		Seed:          42,
-		MaxThetaPerAd: 50000,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("allocated %d seeds in %v using %d RR sets\n\n",
-		alloc.NumSeeds(), stats.Duration.Round(1e6), stats.TotalRRSets)
+	for _, alpha := range []float64{0.1, 0.2, 0.3} {
+		// Linear incentives: each seed user is paid α times her expected
+		// topic-specific spread.
+		p := w.Problem(repro.Linear, alpha)
 
-	// Score the allocation with an independent Monte-Carlo evaluation —
-	// the engine never grades its own homework.
-	ev := repro.EvaluateMC(p, alloc, 2000, 2, 7)
-	for i := range alloc.Seeds {
-		fmt.Printf("ad %d: %3d seeds, revenue %8.1f, incentives %7.1f, budget %8.1f\n",
-			i, len(alloc.Seeds[i]), ev.Revenue[i], ev.SeedCost[i], p.Ads[i].Budget)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		alloc, stats, err := eng.Solve(ctx, p, repro.Options{
+			Mode:          repro.ModeCostSensitive, // TI-CSRM
+			Epsilon:       0.3,
+			Seed:          42,
+			MaxThetaPerAd: 50000,
+		})
+		if err != nil {
+			cancel()
+			log.Fatal(err)
+		}
+
+		// Score the allocation with an independent Monte-Carlo evaluation —
+		// the engine never grades its own homework.
+		ev, err := eng.Evaluate(ctx, p, alloc, 2000, 2, 7)
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("α=%.1f: %3d seeds in %6v (%d RR sets) — host revenue %8.1f, incentives %7.1f\n",
+			alpha, alloc.NumSeeds(), stats.Duration.Round(time.Millisecond),
+			stats.TotalRRSets, ev.TotalRevenue(), ev.TotalSeedCost())
 	}
-	fmt.Printf("\nhost revenue: %.1f (incentives paid out: %.1f)\n",
-		ev.TotalRevenue(), ev.TotalSeedCost())
+
+	fmt.Println("\none Engine, three sessions: the pool and probability cache were built once.")
 }

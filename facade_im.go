@@ -1,6 +1,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/graph"
 	"repro/internal/im"
 	"repro/internal/learn"
@@ -16,23 +18,30 @@ type (
 	TIMOptions = im.TIMOptions
 )
 
+// ErrInvalidIMInput marks structurally invalid arguments to the classic
+// influence-maximization entry points (k out of range, mismatched cost
+// vector, non-positive θ). Cancellation surfaces as the context's own
+// error.
+var ErrInvalidIMInput = im.ErrInvalidInput
+
 // TIM runs Two-phase Influence Maximization (Tang et al., SIGMOD 2014):
-// a (1 − 1/e − ε)-approximate k-seed set via RR-set sampling.
-func TIM(g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) IMResult {
-	return im.TIM(g, probs, k, opt, rng)
+// a (1 − 1/e − ε)-approximate k-seed set via RR-set sampling. The context
+// cancels sampling at batch granularity.
+func TIM(ctx context.Context, g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) (IMResult, error) {
+	return im.TIM(ctx, g, probs, k, opt, rng)
 }
 
 // GreedyIM runs CELF-accelerated greedy influence maximization with
 // Monte-Carlo spread estimation (Kempe et al. 2003 + Leskovec et al.
-// 2007).
-func GreedyIM(g *Graph, probs []float32, k, runs, workers int, rng *RNG) IMResult {
-	return im.GreedyMC(g, probs, k, runs, workers, rng)
+// 2007). The context is checked before every spread evaluation.
+func GreedyIM(ctx context.Context, g *Graph, probs []float32, k, runs, workers int, rng *RNG) (IMResult, error) {
+	return im.GreedyMC(ctx, g, probs, k, runs, workers, rng)
 }
 
 // IMM runs Influence Maximization via Martingales (Tang et al., SIGMOD
 // 2015) — TIM's successor with a tighter sample-size search.
-func IMM(g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) IMResult {
-	return im.IMM(g, probs, k, opt, rng)
+func IMM(ctx context.Context, g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) (IMResult, error) {
+	return im.IMM(ctx, g, probs, k, opt, rng)
 }
 
 // BudgetedIM solves budgeted influence maximization (linear knapsack on
@@ -40,9 +49,9 @@ func IMM(g *Graph, probs []float32, k int, opt TIMOptions, rng *RNG) IMResult {
 // κ_ρ = 0 special case of the paper's Theorems 2–3. Of opt only Workers
 // is consulted (the sample size is the explicit theta); opt.Workers <= 1
 // is the sequential-identical path.
-func BudgetedIM(g *Graph, probs []float32, costs []float64, budget float64,
-	theta int, opt TIMOptions, rng *RNG) IMResult {
-	return im.BudgetedGreedy(g, probs, costs, budget, theta, opt, rng)
+func BudgetedIM(ctx context.Context, g *Graph, probs []float32, costs []float64, budget float64,
+	theta int, opt TIMOptions, rng *RNG) (IMResult, error) {
+	return im.BudgetedGreedy(ctx, g, probs, costs, budget, theta, opt, rng)
 }
 
 // DegreeSeeds returns the k highest out-degree nodes (baseline heuristic).

@@ -16,6 +16,8 @@
 package baseline
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/xrand"
@@ -123,23 +125,27 @@ func ScoresForProblem(p *core.Problem, opt PageRankOptions) [][]float64 {
 }
 
 // PageRankGR runs the PageRank-GR baseline: ad-specific PageRank candidate
-// selection with greedy (max marginal revenue) cross-ad assignment.
-func PageRankGR(p *core.Problem, opt core.Options) (*core.Allocation, *core.Stats, error) {
+// selection with greedy (max marginal revenue) cross-ad assignment. The
+// solve executes on eng (a long-lived session Engine for the problem's
+// graph/model); a nil eng uses a throwaway one, reproducing the historical
+// one-shot behavior.
+func PageRankGR(ctx context.Context, eng *core.Engine, p *core.Problem, opt core.Options) (*core.Allocation, *core.Stats, error) {
 	opt.Mode = core.ModePRGreedy
 	if opt.PRScores == nil {
 		opt.PRScores = ScoresForProblem(p, PageRankOptions{})
 	}
-	return core.Run(p, opt)
+	return core.RunWith(ctx, eng, p, opt)
 }
 
 // PageRankRR runs the PageRank-RR baseline: ad-specific PageRank candidate
-// selection with round-robin assignment over advertisers.
-func PageRankRR(p *core.Problem, opt core.Options) (*core.Allocation, *core.Stats, error) {
+// selection with round-robin assignment over advertisers. See PageRankGR
+// for the eng contract.
+func PageRankRR(ctx context.Context, eng *core.Engine, p *core.Problem, opt core.Options) (*core.Allocation, *core.Stats, error) {
 	opt.Mode = core.ModePRRoundRobin
 	if opt.PRScores == nil {
 		opt.PRScores = ScoresForProblem(p, PageRankOptions{})
 	}
-	return core.Run(p, opt)
+	return core.RunWith(ctx, eng, p, opt)
 }
 
 // HighDegreeScores returns out-degree score vectors for every ad — the

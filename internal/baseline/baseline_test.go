@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+
 	"math"
 	"testing"
 
@@ -122,14 +124,14 @@ func smallProblem(h int, seed uint64) *core.Problem {
 
 func TestPageRankGRAndRREndToEnd(t *testing.T) {
 	p := smallProblem(3, 3)
-	gr, grStats, err := PageRankGR(p, core.Options{Epsilon: 0.3, Seed: 5, MaxThetaPerAd: 30000})
+	gr, grStats, err := PageRankGR(context.Background(), nil, p, core.Options{Epsilon: 0.3, Seed: 5, MaxThetaPerAd: 30000})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := gr.ValidateSlack(p, 0.3); err != nil {
 		t.Fatal(err)
 	}
-	rr, rrStats, err := PageRankRR(p, core.Options{Epsilon: 0.3, Seed: 5, MaxThetaPerAd: 30000})
+	rr, rrStats, err := PageRankRR(context.Background(), nil, p, core.Options{Epsilon: 0.3, Seed: 5, MaxThetaPerAd: 30000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,11 +156,11 @@ func TestTICSRMBeatsPageRankBaselines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gr, _, err := PageRankGR(p, opt)
+	gr, _, err := PageRankGR(context.Background(), nil, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rr, _, err := PageRankRR(p, opt)
+	rr, _, err := PageRankRR(context.Background(), nil, p, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

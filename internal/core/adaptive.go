@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -67,32 +68,60 @@ type AdaptiveResult struct {
 // over-perform — the advantage the paper anticipates for the online
 // setting.
 func AdaptiveRun(p *Problem, opt AdaptiveOptions) (*AdaptiveResult, error) {
+	o := opt.Engine.withDefaults()
+	eng := NewEngine(p.Graph, p.Model, EngineOptions{
+		Workers:     o.Workers,
+		SampleBatch: o.SampleBatch,
+	})
+	return eng.AdaptiveRun(context.Background(), p, opt)
+}
+
+// AdaptiveRun is the Engine-hosted adaptive loop: the observe-then-replan
+// rounds re-solve through this Engine, amortizing its scratch pool and
+// memoized probabilities across rounds — the replanning workload the
+// session API exists for. With Options.ShareSamples, each round solves
+// under a round-specific seed whose cached universe can never be hit
+// again within the run, so those one-shot entries are evicted as soon as
+// the round's plan is committed, keeping the cache's peak at one round's
+// worth (the one-shot reference solve's universe, which a plain Solve of
+// the same instance would share, is kept).
+// Cancellation aborts between (and inside) rounds with ErrCanceled.
+func (eng *Engine) AdaptiveRun(ctx context.Context, p *Problem, opt AdaptiveOptions) (*AdaptiveResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w: %w", ErrInvalidProblem, err)
+	}
+	// The worlds below are simulated with this Engine's probabilities;
+	// reject a foreign problem before touching them (Solve would, but
+	// only after the worlds were built on mismatched arc counts).
+	if err := eng.checkOwnership(p); err != nil {
 		return nil, err
 	}
 	if opt.Rounds == 0 {
 		opt.Rounds = 4
 	}
 	if opt.Rounds < 1 {
-		return nil, fmt.Errorf("core: AdaptiveRun needs at least one round")
+		return nil, fmt.Errorf("core: %w: AdaptiveRun needs at least one round", ErrInvalidProblem)
 	}
 	h := p.NumAds()
 	wrng := xrand.New(opt.WorldSeed)
 	worlds := make([]*cascade.World, h)
 	for i := 0; i < h; i++ {
-		worlds[i] = cascade.NewWorld(p.Graph, p.EdgeProbs(i), wrng.Split())
+		worlds[i] = cascade.NewWorld(p.Graph, eng.edgeProbsFor(p.Ads[i].Gamma), wrng.Split())
 	}
 
 	// One-shot reference: plan once with full budgets, realize everything
 	// in an identical copy of the worlds.
-	oneShot, _, err := Run(p, opt.Engine)
+	oneShot, _, err := eng.Solve(ctx, p, opt.Engine)
 	if err != nil {
 		return nil, err
 	}
 	res := &AdaptiveResult{AdaptiveSeeds: make([][]int32, h)}
 	refRng := xrand.New(opt.WorldSeed)
 	for i := 0; i < h; i++ {
-		refWorld := cascade.NewWorld(p.Graph, p.EdgeProbs(i), refRng.Split())
+		refWorld := cascade.NewWorld(p.Graph, eng.edgeProbsFor(p.Ads[i].Gamma), refRng.Split())
 		engaged := refWorld.Activate(oneShot.Seeds[i])
 		res.OneShotRevenue += p.Ads[i].CPE * float64(engaged)
 		res.OneShotSeedCost += p.Incentives[i].TotalCost(oneShot.Seeds[i])
@@ -132,11 +161,21 @@ func AdaptiveRun(p *Problem, opt AdaptiveOptions) (*AdaptiveResult, error) {
 			}
 		}
 		sub := &Problem{Graph: p.Graph, Model: p.Model, Ads: ads, Incentives: p.Incentives}
-		eng := opt.Engine
-		eng.Seed = opt.Engine.Seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15
-		eng.ForbiddenNodes = forbidden
-		eng.ExcludedNodes = excluded
-		plan, _, err := Run(sub, eng)
+		ropt := opt.Engine
+		ropt.Seed = opt.Engine.Seed ^ (uint64(round)+1)*0x9e3779b97f4a7c15
+		ropt.ForbiddenNodes = forbidden
+		ropt.ExcludedNodes = excluded
+		var keep map[universeKey]bool
+		if ropt.ShareSamples {
+			keep = eng.universeKeys()
+		}
+		plan, _, err := eng.Solve(ctx, sub, ropt)
+		if ropt.ShareSamples {
+			// The round seed is unique to this round: its universes can
+			// never be hit again, so drop them before the next round grows
+			// its own (bounds the cache's peak at one round's worth).
+			eng.evictUniversesExcept(keep)
+		}
 		if err != nil {
 			return nil, err
 		}

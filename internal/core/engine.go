@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -45,7 +46,7 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
-// Options configures the scalable engine.
+// Options configures one solve session.
 type Options struct {
 	Mode Mode
 	// Epsilon is the estimation accuracy ε of Eq. 8/9 (paper: 0.1 for
@@ -74,6 +75,11 @@ type Options struct {
 	// the shared sets are i.i.d. draws from each sharing ad's RR
 	// distribution, so every estimate retains its Eq. 9 guarantee (the
 	// shared θ is the maximum of the members' requirements).
+	//
+	// On a long-lived Engine, shared universes are additionally cached
+	// across solves keyed on (normalized gammas, stream seed), so
+	// re-solving the same instance reuses the samples already drawn;
+	// prefix views keep cache hits bit-identical to a cold run.
 	ShareSamples bool
 	// ForbiddenNodes are globally unavailable as seeds for every ad (used
 	// by the adaptive setting for already-committed seeds).
@@ -89,19 +95,32 @@ type Options struct {
 	// parallelize sampling while keeping runs deterministic for a fixed
 	// (Seed, Workers, SampleBatch).
 	//
+	// Consulted only by the legacy one-shot entry points (Run, TICARM,
+	// TICSRM, ...), which size their throwaway Engine from it. A solve on
+	// a caller-constructed Engine always samples at the Engine's own
+	// Workers/SampleBatch — the pool is the session's shared resource —
+	// and Stats.SampleWorkers reports the value actually used.
+	//
 	// Memory note: every advertiser's sampling streams share one
 	// engine-wide rrset.Pool, so worker scratch (a visited array of 8n
 	// bytes per slot, lazily built, plus BFS queues) is bounded by
-	// ~Workers·8n bytes per run regardless of the number of ads, and is
-	// reported in Stats.SamplerMemoryBytes. The slot count also caps
-	// concurrently sampling goroutines for the whole run: with Workers=1
-	// even the per-ad initialization goroutines sample one at a time
-	// (results stay bit-identical to the sequential engine), so raise
-	// Workers to parallelize sampling across ads as well as within one.
+	// ~Workers·8n bytes regardless of the number of ads or concurrent
+	// solves, and is reported in Stats.SamplerMemoryBytes. The slot count
+	// also caps concurrently sampling goroutines for the whole Engine:
+	// with Workers=1 even the per-ad initialization goroutines sample one
+	// at a time (results stay bit-identical to the sequential engine), so
+	// raise Workers to parallelize sampling across ads as well as within
+	// one.
 	Workers int
 	// SampleBatch is the parallel sampler's per-worker batch size
-	// (0 = rrset.DefaultBatchSize). Only meaningful with Workers > 1.
+	// (0 = rrset.DefaultBatchSize). Only meaningful with Workers > 1;
+	// like Workers, consulted only by the legacy one-shot entry points.
 	SampleBatch int
+	// Progress, when non-nil, receives solver progress events — per-ad θ
+	// growth and committed seeds with the running revenue estimate —
+	// synchronously on the solving goroutine. Keep the hook cheap (hand
+	// off to a channel for server-side streaming).
+	Progress func(ProgressEvent)
 }
 
 func (o *Options) withDefaults() Options {
@@ -125,7 +144,8 @@ func (o *Options) withDefaults() Options {
 }
 
 // Stats reports the engine's work for the scalability experiments
-// (Figure 5, Table 3).
+// (Figure 5, Table 3). A canceled solve returns its Stats alongside the
+// error, describing the partial work done before the abort.
 type Stats struct {
 	Mode         Mode
 	Duration     time.Duration
@@ -136,7 +156,8 @@ type Stats struct {
 	PrunedPairs  int64
 	TotalRRSets  int64
 	// RRMemoryBytes is the final footprint of all RR-set stores
-	// (collections, shared universes, per-ad views).
+	// (collections, shared universes, per-ad views). Cached universes are
+	// counted at their full (possibly pre-grown) size.
 	RRMemoryBytes int64
 	// SamplerMemoryBytes is the high-water scratch footprint of the
 	// engine-wide sampling pool — Workers visited arrays plus BFS queues,
@@ -161,15 +182,60 @@ func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return Run(p, opt)
 }
 
+// Run executes one solve in the configured mode on a throwaway Engine
+// sized from the options — the legacy one-shot entry point, bit-for-bit
+// compatible with the historical engine under a fixed
+// (Seed, Workers, SampleBatch).
+func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
+	return RunWith(context.Background(), nil, p, opt)
+}
+
+// RunWith executes one solve on the given Engine, constructing a
+// throwaway Engine from the options when eng is nil. It is the shared
+// dispatch used by the legacy wrappers, the baselines and the experiment
+// harness.
+func RunWith(ctx context.Context, eng *Engine, p *Problem, opt Options) (*Allocation, *Stats, error) {
+	if eng == nil {
+		o := opt.withDefaults()
+		eng = NewEngine(p.Graph, p.Model, EngineOptions{
+			Workers:     o.Workers,
+			SampleBatch: o.SampleBatch,
+		})
+	}
+	return eng.Solve(ctx, p, opt)
+}
+
 // adGroup is a set of advertisers with identical topic distributions
-// sharing one RR-set universe (Options.ShareSamples).
+// sharing one RR-set universe (Options.ShareSamples). universe and
+// sampler may come from the Engine's cross-solve cache; vsize is this
+// session's virtual universe size — the running maximum of member θ
+// requirements — so that views over a pre-grown cached universe replay
+// exactly the prefix a cold run would have seen.
 type adGroup struct {
 	universe *rrset.Universe
 	sampler  *rrset.Stream
 	kptSrc   *rrset.Stream
-	kpt      float64
-	kptAtS   int
-	members  []*adState
+	// sg is the Engine cache entry backing universe/sampler; its cached
+	// byte count is refreshed after every growth this session performs.
+	sg      *sharedGroup
+	kpt     float64
+	kptAtS  int
+	vsize   int
+	members []*adState
+}
+
+// growUniverse extends the group's (possibly cached) universe to the
+// session's virtual size and refreshes the cache entry's byte count.
+func (e *solver) growUniverse(g *adGroup) error {
+	if g.universe.Size() >= g.vsize {
+		return nil
+	}
+	err := g.universe.AddFromParallelCtx(e.ctx, g.sampler, g.vsize-g.universe.Size())
+	g.sg.bytes.Store(g.universe.MemoryFootprint())
+	if err != nil {
+		return e.canceled(err)
+	}
+	return nil
 }
 
 // adState is the engine's per-advertiser working state.
@@ -212,83 +278,103 @@ type candidate struct {
 
 func (a *adState) payment() float64 { return a.pi + a.cost }
 
-// engine bundles the problem, options and global state.
-type engine struct {
+// solver is the state of one solve session: the problem, the resolved
+// options, and the per-session working state, layered over the owning
+// Engine's shared pool and caches.
+type solver struct {
+	eng *Engine
+	ctx context.Context
 	p   *Problem
 	opt Options
 	n   int32
 	m   int64
-	// pool is the engine-wide sampling scratch pool: every ad's sampler
+	// pool is the Engine-wide sampling scratch pool: every ad's sampler
 	// and kptSrc stream — exclusive or shared — borrows its Workers
-	// slots, so sampler memory is O(Workers·n) per run.
-	pool     *rrset.Pool
-	ads      []*adState
-	groups   []*adGroup // non-empty only with Options.ShareSamples
-	assigned []bool
-	stats    *Stats
+	// slots, so sampler memory is O(Workers·n) per Engine.
+	pool   *rrset.Pool
+	ads    []*adState
+	groups []*adGroup // non-empty only with Options.ShareSamples
+	// locked/lockedKeys are the Engine cache entries this session holds
+	// (mutexes taken in first-occurrence ad order, released at the end of
+	// the solve; evicted instead if the solve fails).
+	locked     []*sharedGroup
+	lockedKeys []universeKey
+	assigned   []bool
+	stats      *Stats
+	// totalPi is the running Σ_i π_i estimate, maintained incrementally
+	// by setPi so progress events report the revenue curve in O(1).
+	totalPi float64
 }
 
-// Run executes the scalable engine in the configured mode and returns the
-// allocation, run statistics, and any validation error.
-func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
-	if err := p.Validate(); err != nil {
-		return nil, nil, err
+// canceled wraps a context error in the ErrCanceled sentinel.
+func (e *solver) canceled(err error) error {
+	return fmt.Errorf("core: %w: %w", ErrCanceled, err)
+}
+
+// releaseGroups unlocks the Engine cache entries held by this session.
+func (e *solver) releaseGroups() {
+	for _, sg := range e.locked {
+		<-sg.lock
 	}
-	opt = opt.withDefaults()
-	if (opt.Mode == ModePRGreedy || opt.Mode == ModePRRoundRobin) &&
-		len(opt.PRScores) != p.NumAds() {
-		return nil, nil, fmt.Errorf("core: PageRank mode needs PRScores for all %d ads", p.NumAds())
-	}
-	start := time.Now()
-	e := &engine{
-		p:        p,
-		opt:      opt,
-		n:        p.Graph.NumNodes(),
-		m:        p.Graph.NumEdges(),
-		assigned: make([]bool, p.Graph.NumNodes()),
-		stats: &Stats{
-			Mode:          opt.Mode,
-			Theta:         make([]int, p.NumAds()),
-			Kpt:           make([]float64, p.NumAds()),
-			SeedCounts:    make([]int, p.NumAds()),
-			SampleWorkers: opt.Workers,
-		},
-	}
-	if opt.ExcludedNodes != nil && len(opt.ExcludedNodes) != p.NumAds() {
-		return nil, nil, fmt.Errorf("core: ExcludedNodes has %d entries for %d ads",
-			len(opt.ExcludedNodes), p.NumAds())
-	}
-	for _, v := range opt.ForbiddenNodes {
+	e.locked = nil
+}
+
+// setPi updates an advertiser's revenue estimate while keeping the
+// session's running total incremental (progress events read it O(1)).
+func (e *solver) setPi(ad *adState, pi float64) {
+	e.totalPi += pi - ad.pi
+	ad.pi = pi
+}
+
+// solve runs the session: initialization (KPT estimates and initial RR
+// samples), the allocation loop, and the final allocation assembly.
+func (e *solver) solve() (*Allocation, error) {
+	for _, v := range e.opt.ForbiddenNodes {
 		e.assigned[v] = true
 	}
-	e.pool = rrset.NewPool(p.Graph, rrset.PoolOptions{
-		Workers:   opt.Workers,
-		BatchSize: opt.SampleBatch,
-	})
-	rng := xrand.New(opt.Seed)
-	if opt.ShareSamples {
+	rng := xrand.New(e.opt.Seed)
+	if e.opt.ShareSamples {
 		// Group advertisers by topic distribution; members of a group
-		// draw from the same RR-set distribution and share a universe.
+		// draw from the same RR-set distribution and share a universe —
+		// cached on the Engine across solves.
 		byGamma := map[string]*adGroup{}
-		for i := 0; i < p.NumAds(); i++ {
-			key := gammaKey(p.Ads[i].Gamma)
+		for i := 0; i < e.p.NumAds(); i++ {
+			key := gammaKey(e.p.Ads[i].Gamma)
 			g, ok := byGamma[key]
 			if !ok {
-				probs := p.EdgeProbs(i)
+				probs := e.eng.edgeProbsFor(e.p.Ads[i].Gamma)
 				// Seeds drawn in the same order the sequential code called
 				// rng.Split(), so Workers<=1 reproduces it bit for bit.
 				sSeed, kSeed := rng.Uint64(), rng.Uint64()
-				g = &adGroup{
-					universe: rrset.NewUniverse(e.n),
-					sampler:  e.pool.NewStream(probs, sSeed),
-					kptSrc:   e.pool.NewStream(probs, kSeed),
-					kptAtS:   1,
+				uk := universeKey{gamma: key, seed: sSeed}
+				sg, err := e.eng.lockSharedGroup(e.ctx, uk, probs)
+				if err != nil {
+					return nil, e.canceled(err)
 				}
-				g.kpt = rrset.KptEstimateParallel(g.kptSrc, e.m, int64(e.n), 1, opt.Ell)
+				e.locked = append(e.locked, sg)
+				e.lockedKeys = append(e.lockedKeys, uk)
+				g = &adGroup{
+					universe: sg.universe,
+					sampler:  sg.sampler,
+					sg:       sg,
+					// The KPT stream replays from scratch every session, so
+					// refresh sequences depend only on this session's seed —
+					// exactly the cold-run behavior.
+					kptSrc: e.pool.NewStream(probs, kSeed),
+					kptAtS: 1,
+				}
+				g.kpt, err = rrset.KptEstimateParallelCtx(e.ctx, g.kptSrc, e.m, int64(e.n), 1, e.opt.Ell)
+				if err != nil {
+					return nil, e.canceled(err)
+				}
 				byGamma[key] = g
 				e.groups = append(e.groups, g)
 			}
-			e.ads = append(e.ads, e.initSharedAd(i, g))
+			ad, err := e.initSharedAd(i, g)
+			if err != nil {
+				return nil, err
+			}
+			e.ads = append(e.ads, ad)
 		}
 	} else {
 		// Exclusive-sample initialization (KPT estimation plus the initial
@@ -296,8 +382,9 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 		// shared mutable state, so it runs concurrently. RNG streams are
 		// pre-split in ad order, keeping runs deterministic regardless of
 		// goroutine scheduling.
-		e.ads = make([]*adState, p.NumAds())
-		rngs := make([]*xrand.RNG, p.NumAds())
+		e.ads = make([]*adState, e.p.NumAds())
+		errs := make([]error, e.p.NumAds())
+		rngs := make([]*xrand.RNG, e.p.NumAds())
 		for i := range rngs {
 			rngs[i] = rng.Split()
 		}
@@ -306,52 +393,90 @@ func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				e.ads[i] = e.initAd(i, rngs[i])
+				e.ads[i], errs[i] = e.initAd(i, rngs[i])
 			}(i)
 		}
 		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
-	if opt.Mode == ModePRRoundRobin {
-		e.runRoundRobin()
+	var err error
+	if e.opt.Mode == ModePRRoundRobin {
+		err = e.runRoundRobin()
 	} else {
-		e.runGreedy()
+		err = e.runGreedy()
+	}
+	if err != nil {
+		return nil, err
 	}
 
-	alloc := NewAllocation(p.NumAds())
+	alloc := NewAllocation(e.p.NumAds())
 	for i, ad := range e.ads {
 		alloc.Seeds[i] = ad.seeds
 		alloc.Revenue[i] = ad.pi
 		alloc.SeedCost[i] = ad.cost
 		alloc.Payment[i] = ad.payment()
+	}
+	return alloc, nil
+}
+
+// snapshotStats fills the session's Stats from whatever state exists —
+// tolerant of a partially initialized session, so a canceled solve still
+// reports its partial work.
+func (e *solver) snapshotStats() {
+	for i, ad := range e.ads {
+		if ad == nil {
+			continue
+		}
 		e.stats.Theta[i] = ad.theta
 		e.stats.Kpt[i] = ad.kpt
 		e.stats.SeedCounts[i] = len(ad.seeds)
-		e.stats.RRMemoryBytes += ad.coll.MemoryFootprint()
-		if ad.group == nil {
-			e.stats.TotalRRSets += int64(ad.coll.Size())
+		if ad.coll != nil {
+			e.stats.RRMemoryBytes += ad.coll.MemoryFootprint()
+			if ad.group == nil {
+				e.stats.TotalRRSets += int64(ad.coll.Size())
+			}
 		}
 	}
 	for _, g := range e.groups {
 		e.stats.RRMemoryBytes += g.universe.MemoryFootprint()
-		e.stats.TotalRRSets += int64(g.universe.Size())
+		// This session drew (or replayed) exactly its virtual universe
+		// size; a cached universe's pre-grown tail is not this session's
+		// work. A canceled session can hold vsize > Size() — report only
+		// what exists.
+		drawn := g.vsize
+		if s := g.universe.Size(); s < drawn {
+			drawn = s
+		}
+		e.stats.TotalRRSets += int64(drawn)
 	}
 	e.stats.SamplerMemoryBytes = e.pool.MemoryFootprint()
 	e.stats.ShareGroups = len(e.groups)
-	e.stats.Duration = time.Since(start)
-	// Admission-time feasibility was enforced with current estimates;
-	// growth-time revisions can shift payments within the ±ε estimation
-	// accuracy, so validate with ε slack.
-	if err := alloc.ValidateSlack(p, opt.Epsilon); err != nil {
-		return nil, nil, fmt.Errorf("core: engine produced invalid allocation: %w", err)
+}
+
+// emitProgress delivers one progress event to the session's hook.
+func (e *solver) emitProgress(kind ProgressKind, ad *adState, node int32) {
+	if e.opt.Progress == nil {
+		return
 	}
-	return alloc, e.stats, nil
+	e.opt.Progress(ProgressEvent{
+		Kind:         kind,
+		Ad:           ad.idx,
+		Node:         node,
+		Theta:        ad.theta,
+		Seeds:        len(ad.seeds),
+		TotalRevenue: e.totalPi,
+	})
 }
 
 // initAd sets up one advertiser with exclusive storage: ad-specific
 // probabilities, the initial KPT estimate at s=1, the initial RR sample
 // of size L(1, ε), and the candidate heap (Algorithm 2 lines 1–4).
-func (e *engine) initAd(i int, rng *xrand.RNG) *adState {
-	probs := e.p.EdgeProbs(i)
+func (e *solver) initAd(i int, rng *xrand.RNG) (*adState, error) {
+	probs := e.eng.edgeProbsFor(e.p.Ads[i].Gamma)
 	coll := rrset.NewCollection(e.n)
 	// Seeds drawn in the same order the sequential code called rng.Split(),
 	// so Workers<=1 reproduces it bit for bit.
@@ -369,17 +494,23 @@ func (e *engine) initAd(i int, rng *xrand.RNG) *adState {
 		kptAtS:  1,
 		active:  true,
 	}
-	ad.kpt = rrset.KptEstimateParallel(ad.kptSrc, e.m, int64(e.n), 1, e.opt.Ell)
+	var err error
+	ad.kpt, err = rrset.KptEstimateParallelCtx(e.ctx, ad.kptSrc, e.m, int64(e.n), 1, e.opt.Ell)
+	if err != nil {
+		return ad, e.canceled(err)
+	}
 	ad.theta = e.thetaFor(ad, 1)
-	coll.AddFromParallel(ad.sampler, ad.theta)
+	if err := coll.AddFromParallelCtx(e.ctx, ad.sampler, ad.theta); err != nil {
+		return ad, e.canceled(err)
+	}
 	e.applyExclusions(ad)
 	e.rebuildHeap(ad)
-	return ad
+	return ad, nil
 }
 
 // applyExclusions prunes the per-ad excluded nodes from the advertiser's
 // ground set before the first candidate heap is built.
-func (e *engine) applyExclusions(ad *adState) {
+func (e *solver) applyExclusions(ad *adState) {
 	if e.opt.ExcludedNodes == nil {
 		return
 	}
@@ -389,9 +520,11 @@ func (e *engine) applyExclusions(ad *adState) {
 }
 
 // initSharedAd sets up one advertiser as a member of a sample-sharing
-// group: the universe is extended to the member's L(1, ε) requirement and
-// the member receives a private coverage view over it.
-func (e *engine) initSharedAd(i int, g *adGroup) *adState {
+// group: the group's virtual universe size is extended to the member's
+// L(1, ε) requirement (growing the cached universe only when it is
+// actually smaller) and the member receives a private prefix view over
+// it.
+func (e *solver) initSharedAd(i int, g *adGroup) (*adState, error) {
 	ad := &adState{
 		idx:    i,
 		cpe:    e.p.Ads[i].CPE,
@@ -403,17 +536,19 @@ func (e *engine) initSharedAd(i int, g *adGroup) *adState {
 		kpt:    g.kpt,
 		active: true,
 	}
-	need := e.thetaFor(ad, 1)
-	if g.universe.Size() < need {
-		g.universe.AddFromParallel(g.sampler, need-g.universe.Size())
+	if need := e.thetaFor(ad, 1); need > g.vsize {
+		g.vsize = need
 	}
-	ad.view = rrset.NewView(g.universe)
+	if err := e.growUniverse(g); err != nil {
+		return ad, err
+	}
+	ad.view = rrset.NewViewPrefix(g.universe, g.vsize)
 	ad.coll = ad.view
 	ad.theta = ad.view.Size()
 	g.members = append(g.members, ad)
 	e.applyExclusions(ad)
 	e.rebuildHeap(ad)
-	return ad
+	return ad, nil
 }
 
 // gammaKey builds the ShareSamples grouping key for a topic distribution.
@@ -441,7 +576,7 @@ func gammaKey(gamma []float64) string {
 
 // thetaFor computes the target sample size for seed-set size s, capped by
 // MaxThetaPerAd.
-func (e *engine) thetaFor(ad *adState, s int) int {
+func (e *solver) thetaFor(ad *adState, s int) int {
 	t := rrset.Threshold(int64(e.n), s, e.opt.Epsilon, e.opt.Ell, ad.kpt)
 	if t > float64(e.opt.MaxThetaPerAd) {
 		return e.opt.MaxThetaPerAd
@@ -453,7 +588,9 @@ func (e *engine) thetaFor(ad *adState, s int) int {
 }
 
 // heapKey computes the selection key of a node for the configured mode.
-func (e *engine) heapKey(ad *adState, v int32) float64 {
+// The mode is validated before the session starts, so the default arm is
+// unreachable.
+func (e *solver) heapKey(ad *adState, v int32) float64 {
 	switch e.opt.Mode {
 	case ModeCostAgnostic:
 		return float64(ad.coll.CovCount(v))
@@ -471,12 +608,12 @@ func (e *engine) heapKey(ad *adState, v int32) float64 {
 	case ModePRGreedy, ModePRRoundRobin:
 		return e.opt.PRScores[ad.idx][v]
 	}
-	panic("core: unknown mode")
+	return 0
 }
 
 // keyStale reports whether a heap entry's key no longer matches the
 // current state. PageRank keys are static and never stale.
-func (e *engine) keyStale(ad *adState, ent candEntry) bool {
+func (e *solver) keyStale(ad *adState, ent candEntry) bool {
 	if e.opt.Mode == ModePRGreedy || e.opt.Mode == ModePRRoundRobin {
 		return false
 	}
@@ -486,7 +623,7 @@ func (e *engine) keyStale(ad *adState, ent candEntry) bool {
 // rebuildHeap reconstructs the candidate heap from all unassigned,
 // unpruned nodes — needed after sample growth, when coverage counts can
 // increase and lazy revalidation would be unsound.
-func (e *engine) rebuildHeap(ad *adState) {
+func (e *solver) rebuildHeap(ad *adState) {
 	entries := make([]candEntry, 0, e.n)
 	for v := int32(0); v < e.n; v++ {
 		if e.assigned[v] || ad.pruned[v] {
@@ -499,7 +636,7 @@ func (e *engine) rebuildHeap(ad *adState) {
 }
 
 // marginals computes (π_i(u|S_i), ρ_i(u|S_i), ratio) for node u.
-func (e *engine) marginals(ad *adState, v int32) (mpi, mrho, ratio float64) {
+func (e *solver) marginals(ad *adState, v int32) (mpi, mrho, ratio float64) {
 	mpi = ad.cpe * float64(e.n) * float64(ad.coll.CovCount(v)) / float64(ad.theta)
 	mrho = mpi + e.p.Incentives[ad.idx].Cost(v)
 	den := mrho
@@ -513,7 +650,7 @@ func (e *engine) marginals(ad *adState, v int32) (mpi, mrho, ratio float64) {
 // 12: a candidate is dropped forever if its addition would violate the
 // advertiser's knapsack, or if its marginal coverage is zero (zero
 // estimated marginal revenue — adding it cannot increase the objective).
-func (e *engine) admissible(ad *adState, v int32) bool {
+func (e *solver) admissible(ad *adState, v int32) bool {
 	if ad.coll.CovCount(v) == 0 {
 		return false
 	}
@@ -524,7 +661,7 @@ func (e *engine) admissible(ad *adState, v int32) bool {
 // selectCandidate finds the advertiser's current best feasible candidate
 // (Algorithms 4 and 5), caching it until invalidated. Returns false when
 // the advertiser's ground set is exhausted.
-func (e *engine) selectCandidate(ad *adState) bool {
+func (e *solver) selectCandidate(ad *adState) bool {
 	if ad.cand.valid {
 		return true
 	}
@@ -560,7 +697,7 @@ func (e *engine) selectCandidate(ad *adState) bool {
 // selectWindowed implements the window-restricted TI-CSRM search: pop up
 // to w fresh candidates in marginal-coverage order, choose the best
 // coverage-to-cost ratio among them, and push everything back.
-func (e *engine) selectWindowed(ad *adState) bool {
+func (e *solver) selectWindowed(ad *adState) bool {
 	w := e.opt.Window
 	buf := make([]candEntry, 0, w)
 	bestIdx := -1
@@ -601,13 +738,13 @@ func (e *engine) selectWindowed(ad *adState) bool {
 }
 
 // assign commits the (node, advertiser) pair: Algorithm 2 lines 10–22.
-func (e *engine) assign(ad *adState, c candidate) {
+func (e *solver) assign(ad *adState, c candidate) error {
 	v := c.node
 	ad.seeds = append(ad.seeds, v)
 	e.assigned[v] = true
 	ad.cost += e.p.Incentives[ad.idx].Cost(v)
 	ad.coll.CoverBy(v) // remove covered RR sets (line 14)
-	ad.pi = ad.cpe * float64(e.n) * float64(ad.coll.NumCovered()) / float64(ad.theta)
+	e.setPi(ad, ad.cpe*float64(e.n)*float64(ad.coll.NumCovered())/float64(ad.theta))
 	ad.cand.valid = false
 	// Other advertisers' cached candidates may reference the now-assigned
 	// node.
@@ -616,16 +753,18 @@ func (e *engine) assign(ad *adState, c candidate) {
 			other.cand.valid = false
 		}
 	}
+	e.emitProgress(ProgressSeedAssigned, ad, v)
 	// Latent seed-set size update (lines 17–22, Eq. 10).
 	if len(ad.seeds) >= ad.s {
-		e.grow(ad)
+		return e.grow(ad)
 	}
+	return nil
 }
 
 // grow revises the latent seed-set size estimate and enlarges the RR
 // sample to L(s̃, ε), re-attributing coverage of the new sets to the
 // existing seeds in insertion order (Algorithm 3).
-func (e *engine) grow(ad *adState) {
+func (e *solver) grow(ad *adState) error {
 	e.stats.GrowthEvents++
 	remaining := ad.budget - ad.payment()
 	if remaining < 0 {
@@ -645,55 +784,68 @@ func (e *engine) grow(ad *adState) {
 		delta = 1
 	}
 	ad.s += delta
-	e.refreshKpt(ad)
+	if err := e.refreshKpt(ad); err != nil {
+		return err
+	}
 	newTheta := e.thetaFor(ad, ad.s)
 
 	if ad.group != nil {
 		g := ad.group
-		if newTheta > g.universe.Size() {
-			g.universe.AddFromParallel(g.sampler, newTheta-g.universe.Size())
+		if newTheta > g.vsize {
+			g.vsize = newTheta
 		}
-		// Every member whose view lags the universe absorbs the new sets
-		// (Algorithm 3 per member).
+		if err := e.growUniverse(g); err != nil {
+			return err
+		}
+		// Every member whose view lags the session's virtual universe size
+		// absorbs the new sets (Algorithm 3 per member).
 		for _, m := range g.members {
-			if m.view.Sync() == 0 {
+			if m.view.SyncTo(g.vsize) == 0 {
 				continue
 			}
 			m.theta = m.view.Size()
 			for _, v := range m.seeds {
 				m.view.CoverBy(v)
 			}
-			m.pi = m.cpe * float64(e.n) * float64(m.view.NumCovered()) / float64(m.theta)
+			e.setPi(m, m.cpe*float64(e.n)*float64(m.view.NumCovered())/float64(m.theta))
 			e.rebuildHeap(m)
+			e.emitProgress(ProgressSampleGrowth, m, -1)
 		}
-		return
+		return nil
 	}
 
 	if newTheta <= ad.theta {
-		return
+		return nil
 	}
-	ad.excl.AddFromParallel(ad.sampler, newTheta-ad.theta)
+	if err := ad.excl.AddFromParallelCtx(e.ctx, ad.sampler, newTheta-ad.theta); err != nil {
+		return e.canceled(err)
+	}
 	ad.theta = newTheta
 	// Algorithm 3: re-attribute coverage of the fresh sets to existing
 	// seeds in insertion order, then refresh the revenue estimate.
 	for _, v := range ad.seeds {
 		ad.coll.CoverBy(v)
 	}
-	ad.pi = ad.cpe * float64(e.n) * float64(ad.coll.NumCovered()) / float64(ad.theta)
+	e.setPi(ad, ad.cpe*float64(e.n)*float64(ad.coll.NumCovered())/float64(ad.theta))
 	// Coverage counts may have increased; lazy heap keys would be
 	// underestimates, so rebuild.
 	e.rebuildHeap(ad)
+	e.emitProgress(ProgressSampleGrowth, ad, -1)
+	return nil
 }
 
 // refreshKpt re-estimates the KPT lower bound when s has doubled since
 // the last estimation; OPT_s is monotone in s, so the stale (smaller)
 // value remains a valid lower bound in between. Shared groups keep one
 // estimate for all members.
-func (e *engine) refreshKpt(ad *adState) {
+func (e *solver) refreshKpt(ad *adState) error {
 	if ad.group != nil {
 		g := ad.group
 		if ad.s >= 2*g.kptAtS {
-			kpt := rrset.KptEstimateParallel(g.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+			kpt, err := rrset.KptEstimateParallelCtx(e.ctx, g.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+			if err != nil {
+				return e.canceled(err)
+			}
 			if kpt > g.kpt {
 				g.kpt = kpt
 			}
@@ -702,23 +854,31 @@ func (e *engine) refreshKpt(ad *adState) {
 		if g.kpt > ad.kpt {
 			ad.kpt = g.kpt
 		}
-		return
+		return nil
 	}
 	if ad.s >= 2*ad.kptAtS {
-		kpt := rrset.KptEstimateParallel(ad.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+		kpt, err := rrset.KptEstimateParallelCtx(e.ctx, ad.kptSrc, e.m, int64(e.n), ad.s, e.opt.Ell)
+		if err != nil {
+			return e.canceled(err)
+		}
 		if kpt > ad.kpt {
 			ad.kpt = kpt
 		}
 		ad.kptAtS = ad.s
 	}
+	return nil
 }
 
 // runGreedy is the main loop of Algorithm 2 (lines 5–22) for the CA, CS
 // and PR-GR modes: every round each active advertiser proposes its best
 // candidate, and the best feasible (node, advertiser) pair across
-// advertisers is committed.
-func (e *engine) runGreedy() {
+// advertisers is committed. Cancellation is checked once per committed
+// pair; sampling inside growth events has its own batch-level checks.
+func (e *solver) runGreedy() error {
 	for {
+		if err := e.ctx.Err(); err != nil {
+			return e.canceled(err)
+		}
 		var bestAd *adState
 		var best candidate
 		for _, ad := range e.ads {
@@ -742,16 +902,21 @@ func (e *engine) runGreedy() {
 			}
 		}
 		if bestAd == nil {
-			return // all advertisers exhausted (line 16)
+			return nil // all advertisers exhausted (line 16)
 		}
-		e.assign(bestAd, best)
+		if err := e.assign(bestAd, best); err != nil {
+			return err
+		}
 	}
 }
 
 // runRoundRobin serves advertisers cyclically (PageRank-RR): each active
 // advertiser immediately receives its top-PageRank feasible node.
-func (e *engine) runRoundRobin() {
+func (e *solver) runRoundRobin() error {
 	for {
+		if err := e.ctx.Err(); err != nil {
+			return e.canceled(err)
+		}
 		progressed := false
 		for _, ad := range e.ads {
 			if !ad.active {
@@ -760,11 +925,13 @@ func (e *engine) runRoundRobin() {
 			if !e.selectCandidate(ad) {
 				continue
 			}
-			e.assign(ad, ad.cand)
+			if err := e.assign(ad, ad.cand); err != nil {
+				return err
+			}
 			progressed = true
 		}
 		if !progressed {
-			return
+			return nil
 		}
 	}
 }

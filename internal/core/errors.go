@@ -1,0 +1,26 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the solve path. Every failure mode that used to
+// panic (or that a server embedding the Engine must branch on) wraps one
+// of these, so callers dispatch with errors.Is regardless of the
+// human-readable detail around it.
+var (
+	// ErrInvalidProblem marks structurally invalid input: a malformed
+	// Problem, options outside their domain (negative ε, unknown Mode,
+	// missing PageRank scores), or a Problem built on a different
+	// graph/model than the Engine serving it.
+	ErrInvalidProblem = errors.New("invalid problem")
+
+	// ErrInfeasible marks a solve whose resulting allocation violates the
+	// problem's constraints even after the engine's ε estimation slack —
+	// the post-solve audit that used to surface as a bare error string.
+	ErrInfeasible = errors.New("infeasible allocation")
+
+	// ErrCanceled marks a solve aborted by its context (cancellation or
+	// deadline). The wrapped chain also matches the originating
+	// context.Canceled / context.DeadlineExceeded, and the Stats returned
+	// alongside it describe the partial work done before the abort.
+	ErrCanceled = errors.New("solve canceled")
+)

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/cascade"
 	"repro/internal/xrand"
 )
@@ -66,8 +69,22 @@ func EvaluateCompetitive(p *Problem, a *Allocation, runs, workers int, seed uint
 }
 
 // EvaluateMC scores an allocation with fresh Monte-Carlo simulation (runs
-// cascades per ad, split across workers).
+// cascades per ad, split across workers). It is the legacy one-shot front
+// end of Engine.Evaluate (no cancellation, probabilities re-materialized
+// per call).
 func EvaluateMC(p *Problem, a *Allocation, runs, workers int, seed uint64) *Evaluation {
+	ev, _ := evaluateMC(context.Background(), p, a, runs, workers, seed, p.EdgeProbs)
+	return ev
+}
+
+// evaluateMC is the evaluation loop shared by EvaluateMC and
+// Engine.Evaluate: probsOf supplies the per-ad arc probabilities (the
+// Engine passes its memoized cache) and ctx is checked between
+// advertisers. The per-ad RNG split happens before the cancellation
+// check, so a completed evaluation is bit-identical regardless of front
+// end.
+func evaluateMC(ctx context.Context, p *Problem, a *Allocation, runs, workers int,
+	seed uint64, probsOf func(i int) []float32) (*Evaluation, error) {
 	h := p.NumAds()
 	ev := &Evaluation{
 		Spread:   make([]float64, h),
@@ -78,13 +95,16 @@ func EvaluateMC(p *Problem, a *Allocation, runs, workers int, seed uint64) *Eval
 	rng := xrand.New(seed)
 	for i := 0; i < h; i++ {
 		adRng := rng.Split()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: evaluation %w: %w", ErrCanceled, err)
+		}
 		if len(a.Seeds[i]) > 0 {
-			sim := cascade.NewSimulator(p.Graph, p.EdgeProbs(i))
+			sim := cascade.NewSimulator(p.Graph, probsOf(i))
 			ev.Spread[i] = sim.SpreadParallel(a.Seeds[i], runs, workers, adRng)
 		}
 		ev.Revenue[i] = p.Ads[i].CPE * ev.Spread[i]
 		ev.SeedCost[i] = p.Incentives[i].TotalCost(a.Seeds[i])
 		ev.Payment[i] = ev.Revenue[i] + ev.SeedCost[i]
 	}
-	return ev
+	return ev, nil
 }

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/rrset"
+	"repro/internal/topic"
+)
+
+// EngineOptions configures a long-lived Engine: the resources that are
+// fixed per (dataset, topic model) and shared by every solve session on
+// it. Per-solve knobs (mode, ε, window, seed, budgets) stay in Options.
+type EngineOptions struct {
+	// Workers is the number of RR-sampling scratch slots in the Engine's
+	// shared pool, bounding both scratch memory (O(Workers·n) for the
+	// whole Engine) and the number of concurrently sampling goroutines
+	// across every Solve in flight. 0 and 1 both select the single-worker
+	// path that is bit-identical to the historical sequential sampler.
+	Workers int
+	// SampleBatch is the pool's per-worker batch size
+	// (0 = rrset.DefaultBatchSize); part of the determinism key for
+	// Workers > 1 and the granularity of context-cancellation checks
+	// inside sampling.
+	SampleBatch int
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	return o
+}
+
+// universeKey identifies one cross-solve shared RR-set universe: the
+// normalized topic distribution (gammaKey) determines the RR-set
+// distribution, the stream seed pins the exact deterministic sample
+// sequence.
+type universeKey struct {
+	gamma string
+	seed  uint64
+}
+
+// sharedGroup is one cached (universe, sampler) pair. Its lock (a
+// 1-slot channel, so waiters can abandon on context cancellation) is
+// held by a solve session for the session's whole lifetime, serializing
+// the (rare) case of concurrent solves that share both topic
+// distribution and seed; solves with different seeds or gammas never
+// contend. The sampler's position always equals the universe's size, so
+// growing the universe from any session extends the same deterministic
+// sequence.
+type sharedGroup struct {
+	lock     chan struct{}
+	universe *rrset.Universe
+	sampler  *rrset.Stream
+	// bytes caches universe.MemoryFootprint(), refreshed by the holding
+	// session after growth, so monitors (CachedUniverseBytes) can read a
+	// consistent size without touching universe internals that a
+	// concurrent session may be appending to.
+	bytes atomic.Int64
+	// dead marks an entry evicted after a canceled/failed solve left the
+	// sampler's deterministic replay misaligned; waiters re-fetch a fresh
+	// entry from the cache instead of using it. Written and read only
+	// while holding lock.
+	dead bool
+}
+
+// Engine is a long-lived, concurrent-safe solver session factory for one
+// (graph, topic model) pair — the substrate a server keeps per dataset.
+// Construct it once with NewEngine, then issue any number of Solve /
+// Evaluate calls, concurrently if desired:
+//
+//   - the RR-sampling scratch pool (Workers visited arrays, O(Workers·n)
+//     bytes total) is allocated once and shared by every call;
+//   - ad-specific edge-probability vectors are memoized per normalized
+//     topic distribution, so repeated solves over the same advertisers
+//     skip the O(m) materialization;
+//   - with Options.ShareSamples, RR-set universes are cached across
+//     solves keyed on (normalized gammas, stream seed): a re-solve of the
+//     same instance — the replanning loop pattern — reuses the samples it
+//     already drew, growing them only when a session needs more. Prefix
+//     views keep cache hits bit-identical to a cold run.
+//
+// Every method honors context cancellation and returns sentinel errors
+// (ErrInvalidProblem, ErrInfeasible, ErrCanceled) instead of panicking.
+// The legacy free functions (TICSRM, TICARM, Run) remain as thin
+// wrappers over a throwaway Engine and reproduce historical results bit
+// for bit.
+type Engine struct {
+	graph *graph.Graph
+	model *topic.Model
+	opts  EngineOptions
+	pool  *rrset.Pool
+
+	mu        sync.Mutex
+	probs     map[string][]float32
+	universes map[universeKey]*sharedGroup
+}
+
+// NewEngine builds an Engine for the graph and topic model. The options'
+// Workers/SampleBatch fix the sampling configuration — and therefore the
+// determinism key — for every solve served by this Engine (per-solve
+// Options.Workers/SampleBatch are ignored).
+func NewEngine(g *graph.Graph, model *topic.Model, opts EngineOptions) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		graph: g,
+		model: model,
+		opts:  opts,
+		pool: rrset.NewPool(g, rrset.PoolOptions{
+			Workers:   opts.Workers,
+			BatchSize: opts.SampleBatch,
+		}),
+		probs:     map[string][]float32{},
+		universes: map[universeKey]*sharedGroup{},
+	}
+}
+
+// Workers returns the Engine's resolved sampling-worker count.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// SamplerMemoryBytes returns the high-water scratch footprint of the
+// Engine's shared sampling pool, O(Workers·n) for the Engine's lifetime.
+func (e *Engine) SamplerMemoryBytes() int64 { return e.pool.MemoryFootprint() }
+
+// CachedUniverses returns the number of RR-set universes currently held
+// by the cross-solve cache (grown by ShareSamples solves).
+func (e *Engine) CachedUniverses() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.universes)
+}
+
+// CachedUniverseBytes returns the heap footprint of the cross-solve
+// universe cache (as of each universe's last completed growth — safe to
+// call while solves are in flight). Universes only grow; call Reset to
+// release them.
+func (e *Engine) CachedUniverseBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var total int64
+	for _, sg := range e.universes {
+		total += sg.bytes.Load()
+	}
+	return total
+}
+
+// universeKeys snapshots the keys currently in the universe cache.
+func (e *Engine) universeKeys() map[universeKey]bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	keys := make(map[universeKey]bool, len(e.universes))
+	for k := range e.universes {
+		keys[k] = true
+	}
+	return keys
+}
+
+// evictUniversesExcept drops every cache entry whose key is not in keep —
+// used by the adaptive loop to discard its one-shot per-round universes.
+// Entries are healthy (not marked dead); a session still holding one
+// simply keeps its orphaned reference until it finishes.
+func (e *Engine) evictUniversesExcept(keep map[universeKey]bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k := range e.universes {
+		if !keep[k] {
+			delete(e.universes, k)
+		}
+	}
+}
+
+// Reset drops the Engine's memoized edge probabilities and cached RR-set
+// universes (sessions already holding a cache entry keep it until they
+// finish). The scratch pool is retained. Use it to bound memory on an
+// Engine that has served many distinct seeds or topic mixes.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.probs = map[string][]float32{}
+	e.universes = map[universeKey]*sharedGroup{}
+}
+
+// edgeProbsFor returns the memoized ad-specific arc probabilities for a
+// topic distribution, materializing them on first use. The returned
+// slice is shared and must be treated as immutable.
+func (e *Engine) edgeProbsFor(gamma topic.Distribution) []float32 {
+	key := gammaKey(gamma)
+	e.mu.Lock()
+	ps, ok := e.probs[key]
+	e.mu.Unlock()
+	if ok {
+		return ps
+	}
+	ps = e.model.EdgeProbs(gamma)
+	e.mu.Lock()
+	if prev, ok := e.probs[key]; ok {
+		ps = prev // a concurrent solve won the materialization race
+	} else {
+		e.probs[key] = ps
+	}
+	e.mu.Unlock()
+	return ps
+}
+
+// lockSharedGroup checks out (creating on miss) the cached universe for
+// the key and returns it with its lock held; a waiter queued behind a
+// long-running same-key session abandons with the context's error
+// instead of parking past its deadline. Deadlock-free under concurrent
+// solves: a solve acquires entries in first-occurrence ad order, and
+// because stream seeds are drawn positionally from the solve seed, two
+// solves sharing any two entries necessarily assign them the same
+// positions — hence acquire them in the same order.
+func (e *Engine) lockSharedGroup(ctx context.Context, key universeKey, probs []float32) (*sharedGroup, error) {
+	for {
+		e.mu.Lock()
+		sg, ok := e.universes[key]
+		if !ok {
+			sg = &sharedGroup{
+				lock:     make(chan struct{}, 1),
+				universe: rrset.NewUniverse(e.graph.NumNodes()),
+				sampler:  e.pool.NewStream(probs, key.seed),
+			}
+			e.universes[key] = sg
+		}
+		e.mu.Unlock()
+		select {
+		case sg.lock <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if !sg.dead {
+			return sg, nil
+		}
+		<-sg.lock // evicted while we waited: retry against a fresh entry
+	}
+}
+
+// evictSharedGroups removes cache entries whose deterministic replay a
+// failed solve has invalidated (cancellation can abandon drawn-but-
+// unmerged samples, desynchronizing sampler and universe). The caller
+// must hold each entry's lock. Entries are removed only if the map still
+// points at the very instance the caller holds — after a Reset, a fresh
+// healthy entry may live under the same key and must survive a stale
+// session's eviction.
+func (e *Engine) evictSharedGroups(keys []universeKey, groups []*sharedGroup) {
+	for _, sg := range groups {
+		sg.dead = true
+	}
+	e.mu.Lock()
+	for i, k := range keys {
+		if cur, ok := e.universes[k]; ok && cur == groups[i] {
+			delete(e.universes, k)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Solve runs one allocation session on the Engine. It validates the
+// problem and options (wrapping failures in ErrInvalidProblem), honors
+// ctx cancellation inside both the sampling and the greedy loops
+// (returning an error chain matching ErrCanceled and the context's own
+// error, alongside Stats for the partial work), and audits the final
+// allocation (ErrInfeasible). Concurrent Solve calls on one Engine are
+// race-free; for a fixed Options.Seed the allocation is bit-identical to
+// the legacy one-shot entry points at the Engine's Workers/SampleBatch.
+func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocation, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt = opt.withDefaults()
+	opt.Workers = e.pool.Workers()
+	opt.SampleBatch = e.pool.BatchSize()
+	if err := e.validateSolve(p, opt); err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	s := &solver{
+		eng:      e,
+		ctx:      ctx,
+		p:        p,
+		opt:      opt,
+		n:        p.Graph.NumNodes(),
+		m:        p.Graph.NumEdges(),
+		pool:     e.pool,
+		assigned: make([]bool, p.Graph.NumNodes()),
+		stats: &Stats{
+			Mode:          opt.Mode,
+			Theta:         make([]int, p.NumAds()),
+			Kpt:           make([]float64, p.NumAds()),
+			SeedCounts:    make([]int, p.NumAds()),
+			SampleWorkers: e.pool.Workers(),
+		},
+	}
+	// Deferred cleanup so that even a panic escaping the solve (e.g. from
+	// a user Progress hook) cannot leak a cache entry's mutex: entries a
+	// session held at an abnormal exit are evicted (their sampler replay
+	// may be misaligned) and always unlocked.
+	completed := false
+	defer func() {
+		if !completed {
+			e.evictSharedGroups(s.lockedKeys, s.locked)
+		}
+		s.releaseGroups()
+	}()
+	alloc, err := s.solve()
+	s.snapshotStats()
+	s.stats.Duration = time.Since(start)
+	if err != nil {
+		return nil, s.stats, err
+	}
+	completed = true
+	// Admission-time feasibility was enforced with current estimates;
+	// growth-time revisions can shift payments within the ±ε estimation
+	// accuracy, so validate with ε slack.
+	if err := alloc.ValidateSlack(p, opt.Epsilon); err != nil {
+		return nil, s.stats, fmt.Errorf("core: %w: %w", ErrInfeasible, err)
+	}
+	return alloc, s.stats, nil
+}
+
+// checkOwnership rejects a problem built on a different graph or topic
+// model than this Engine — the shared guard of every Engine method.
+func (e *Engine) checkOwnership(p *Problem) error {
+	if p.Graph != e.graph || p.Model != e.model {
+		return fmt.Errorf("core: %w: problem built on a different graph/model than this Engine", ErrInvalidProblem)
+	}
+	return nil
+}
+
+// validateSolve checks everything the solve path used to assume (or
+// panic on): a well-formed problem built on this Engine's graph and
+// model, options inside their domain, and consistent auxiliary inputs.
+func (e *Engine) validateSolve(p *Problem, opt Options) error {
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("core: %w: %w", ErrInvalidProblem, err)
+	}
+	if err := e.checkOwnership(p); err != nil {
+		return err
+	}
+	switch opt.Mode {
+	case ModeCostAgnostic, ModeCostSensitive, ModePRGreedy, ModePRRoundRobin:
+	default:
+		return fmt.Errorf("core: %w: unknown mode %d", ErrInvalidProblem, int(opt.Mode))
+	}
+	if opt.Epsilon <= 0 || opt.Ell <= 0 {
+		return fmt.Errorf("core: %w: epsilon and ell must be positive (got ε=%v, ℓ=%v)",
+			ErrInvalidProblem, opt.Epsilon, opt.Ell)
+	}
+	if opt.Window < 0 || opt.MaxThetaPerAd < 1 {
+		return fmt.Errorf("core: %w: window must be ≥ 0 and maxTheta ≥ 1", ErrInvalidProblem)
+	}
+	if opt.Mode == ModePRGreedy || opt.Mode == ModePRRoundRobin {
+		if len(opt.PRScores) != p.NumAds() {
+			return fmt.Errorf("core: %w: PageRank mode needs PRScores for all %d ads", ErrInvalidProblem, p.NumAds())
+		}
+		for i, scores := range opt.PRScores {
+			if int64(len(scores)) != int64(p.Graph.NumNodes()) {
+				return fmt.Errorf("core: %w: PRScores[%d] covers %d nodes, graph has %d",
+					ErrInvalidProblem, i, len(scores), p.Graph.NumNodes())
+			}
+		}
+	}
+	n := p.Graph.NumNodes()
+	for _, v := range opt.ForbiddenNodes {
+		if v < 0 || v >= n {
+			return fmt.Errorf("core: %w: forbidden node %d out of range", ErrInvalidProblem, v)
+		}
+	}
+	if opt.ExcludedNodes != nil {
+		if len(opt.ExcludedNodes) != p.NumAds() {
+			return fmt.Errorf("core: %w: ExcludedNodes has %d entries for %d ads",
+				ErrInvalidProblem, len(opt.ExcludedNodes), p.NumAds())
+		}
+		for i, excl := range opt.ExcludedNodes {
+			for _, v := range excl {
+				if v < 0 || v >= n {
+					return fmt.Errorf("core: %w: excluded node %d out of range for ad %d",
+						ErrInvalidProblem, v, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Evaluate scores an allocation with fresh Monte-Carlo simulation (runs
+// cascades per ad, split across workers), using the Engine's memoized
+// edge probabilities. Cancellation is honored between advertisers.
+func (e *Engine) Evaluate(ctx context.Context, p *Problem, a *Allocation, runs, workers int, seed uint64) (*Evaluation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w: %w", ErrInvalidProblem, err)
+	}
+	if err := e.checkOwnership(p); err != nil {
+		return nil, err
+	}
+	if a == nil || len(a.Seeds) != p.NumAds() {
+		return nil, fmt.Errorf("core: %w: allocation does not match problem", ErrInvalidProblem)
+	}
+	return evaluateMC(ctx, p, a, runs, workers, seed, func(i int) []float32 {
+		return e.edgeProbsFor(p.Ads[i].Gamma)
+	})
+}
+
+// ProgressKind labels a ProgressEvent.
+type ProgressKind int
+
+const (
+	// ProgressSampleGrowth reports that an advertiser's RR sample was
+	// enlarged (a θ growth event, Algorithm 3).
+	ProgressSampleGrowth ProgressKind = iota
+	// ProgressSeedAssigned reports one committed (node, advertiser) pair —
+	// consecutive events trace the engine's revenue curve.
+	ProgressSeedAssigned
+)
+
+func (k ProgressKind) String() string {
+	switch k {
+	case ProgressSampleGrowth:
+		return "sample-growth"
+	case ProgressSeedAssigned:
+		return "seed-assigned"
+	}
+	return fmt.Sprintf("ProgressKind(%d)", int(k))
+}
+
+// ProgressEvent is one solver progress notification, delivered
+// synchronously on the solving goroutine to Options.Progress (keep the
+// hook cheap, or hand off to a channel for server-side streaming).
+type ProgressEvent struct {
+	Kind ProgressKind
+	// Ad is the advertiser index the event concerns.
+	Ad int
+	// Node is the newly assigned seed for ProgressSeedAssigned, -1
+	// otherwise.
+	Node int32
+	// Theta is the advertiser's current RR sample size.
+	Theta int
+	// Seeds is the advertiser's current seed count.
+	Seeds int
+	// TotalRevenue is the engine's running estimate of π(S⃗) across all
+	// advertisers — consecutive events trace the revenue curve.
+	TotalRevenue float64
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -13,7 +14,7 @@ import (
 // propagation model (future-work item (iii)): every user engages with at
 // most one ad. The revenue drop measures how much the independence
 // assumption overstates revenue in a fully competitive marketplace.
-func CompetitionAblation(dataset string, alpha float64, params Params,
+func CompetitionAblation(ctx context.Context, dataset string, alpha float64, params Params,
 	progress func(string)) (*Table, error) {
 	params = params.withDefaults()
 	if params.Epsilon == 0 {
@@ -41,28 +42,33 @@ func CompetitionAblation(dataset string, alpha float64, params Params,
 			Window:        params.Window,
 			Seed:          params.Seed,
 			MaxThetaPerAd: params.MaxThetaPerAd,
-			Workers:       params.SampleWorkers,
 		}
+		eng := w.Engine()
 		var (
 			alloc *core.Allocation
 			err   error
 		)
 		switch alg {
 		case AlgTICSRM:
-			alloc, _, err = core.TICSRM(p, opt)
+			opt.Mode = core.ModeCostSensitive
+			alloc, _, err = eng.Solve(ctx, p, opt)
 		case AlgTICARM:
-			alloc, _, err = core.TICARM(p, opt)
+			opt.Mode = core.ModeCostAgnostic
+			alloc, _, err = eng.Solve(ctx, p, opt)
 		case AlgPageRankGR:
 			opt.PRScores = prScores
-			alloc, _, err = baseline.PageRankGR(p, opt)
+			alloc, _, err = baseline.PageRankGR(ctx, eng, p, opt)
 		case AlgPageRankRR:
 			opt.PRScores = prScores
-			alloc, _, err = baseline.PageRankRR(p, opt)
+			alloc, _, err = baseline.PageRankRR(ctx, eng, p, opt)
 		}
 		if err != nil {
 			return nil, err
 		}
-		indep := core.EvaluateMC(p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xabcdef)
+		indep, err := eng.Evaluate(ctx, p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xabcdef)
+		if err != nil {
+			return nil, err
+		}
 		comp := core.EvaluateCompetitive(p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xfedcba)
 		drop := 0.0
 		if indep.TotalRevenue() > 0 {
@@ -79,7 +85,7 @@ func CompetitionAblation(dataset string, alpha float64, params Params,
 // with and without sample sharing on a fully-competitive marketplace
 // (identical topic distributions, the best case for sharing) and reports
 // memory and revenue side by side.
-func SharingAblation(dataset string, hs []int, params Params,
+func SharingAblation(ctx context.Context, dataset string, hs []int, params Params,
 	progress func(string)) (*Table, error) {
 	params = params.withDefaults()
 	if params.Epsilon == 0 {
@@ -102,19 +108,21 @@ func SharingAblation(dataset string, hs []int, params Params,
 		p := wh.Problem(incentive.Linear, 0.2)
 		for _, share := range []bool{false, true} {
 			progress(fmt.Sprintf("%s h=%d share=%v", dataset, h, share))
-			alloc, stats, err := core.TICSRM(p, core.Options{
+			alloc, stats, err := wh.Engine().Solve(ctx, p, core.Options{
+				Mode:          core.ModeCostSensitive,
 				Epsilon:       hp.Epsilon,
 				Window:        hp.Window,
 				Seed:          hp.Seed,
 				MaxThetaPerAd: hp.MaxThetaPerAd,
 				ShareSamples:  share,
-				Workers:       hp.SampleWorkers,
-				SampleBatch:   hp.SampleBatch,
 			})
 			if err != nil {
 				return nil, err
 			}
-			ev := core.EvaluateMC(p, alloc, hp.MCEvalRuns, hp.Workers, hp.Seed^0xabcdef)
+			ev, err := wh.Engine().Evaluate(ctx, p, alloc, hp.MCEvalRuns, hp.Workers, hp.Seed^0xabcdef)
+			if err != nil {
+				return nil, err
+			}
 			t.Append(h, share, float64(stats.RRMemoryBytes)/(1<<20),
 				float64(stats.SamplerMemoryBytes)/(1<<20),
 				ev.TotalRevenue(), alloc.NumSeeds())

@@ -1,13 +1,14 @@
 package eval
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
 
 func TestCompetitionAblation(t *testing.T) {
 	params := tinyParams()
-	tbl, err := CompetitionAblation("epinions", 0.3, params, nil)
+	tbl, err := CompetitionAblation(context.Background(), "epinions", 0.3, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestCompetitionAblation(t *testing.T) {
 
 func TestSharingAblation(t *testing.T) {
 	params := tinyParams()
-	tbl, err := SharingAblation("epinions", []int{2, 4}, params, nil)
+	tbl, err := SharingAblation(context.Background(), "epinions", []int{2, 4}, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -138,8 +139,9 @@ type QualityCell struct {
 // QualitySweep runs the full Figure 2/3 grid: dataset × incentive model ×
 // α × algorithm, with ε = 0.1 (the paper's quality setting) unless
 // overridden. Figure 2 reads Revenue, Figure 3 reads SeedCost from the
-// same runs.
-func QualitySweep(datasets []string, kinds []incentive.Kind, algorithms []Algorithm,
+// same runs. Every run in a dataset's grid solves warm on the
+// workbench's one Engine; ctx cancels the whole sweep.
+func QualitySweep(ctx context.Context, datasets []string, kinds []incentive.Kind, algorithms []Algorithm,
 	params Params, progress func(string)) ([]QualityCell, error) {
 	params = params.withDefaults()
 	if params.Epsilon == 0 {
@@ -168,7 +170,7 @@ func QualitySweep(datasets []string, kinds []incentive.Kind, algorithms []Algori
 						prScores = baseline.ScoresForProblem(p, baseline.PageRankOptions{})
 					}
 					progress(fmt.Sprintf("%s %v α=%.4g %v", dsName, kind, alpha, alg))
-					res, err := RunAlgorithm(p, alg, params, prScores)
+					res, err := RunAlgorithm(ctx, w.Engine(), p, alg, params, prScores)
 					if err != nil {
 						return nil, err
 					}
@@ -238,7 +240,7 @@ type WindowPoint struct {
 // WindowTradeoff reproduces Figure 4: TI-CSRM restricted to window size w
 // for w in sizes (use 0 for the full window), linear incentives, on the
 // given quality dataset.
-func WindowTradeoff(dataset string, alphas []float64, sizes []int, params Params,
+func WindowTradeoff(ctx context.Context, dataset string, alphas []float64, sizes []int, params Params,
 	progress func(string)) ([]WindowPoint, error) {
 	params = params.withDefaults()
 	if params.Epsilon == 0 {
@@ -258,7 +260,7 @@ func WindowTradeoff(dataset string, alphas []float64, sizes []int, params Params
 			progress(fmt.Sprintf("%s α=%.4g w=%d", dataset, alpha, size))
 			run := params
 			run.Window = size
-			res, err := RunAlgorithm(p, AlgTICSRM, run, nil)
+			res, err := RunAlgorithm(ctx, w.Engine(), p, AlgTICSRM, run, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -309,9 +311,10 @@ func (p ScalePoint) RRThroughput() float64 { return rrThroughput(p.RRSets, p.Dur
 
 // scalabilityProblem builds the Figure 5 configuration: WC probabilities,
 // uniform budgets, cpe = 1, α = 0.2 linear incentives with the out-degree
-// proxy — the paper's fully-competitive stress test.
-func scalabilityProblem(ds gen.Dataset, h int, budget float64, alpha float64) *core.Problem {
-	model := topic.NewWeightedCascade(ds.Graph)
+// proxy — the paper's fully-competitive stress test. The model is shared
+// across the sweep's points so that every h/budget variation solves on
+// the same Engine.
+func scalabilityProblem(ds gen.Dataset, model *topic.Model, h int, budget float64, alpha float64) *core.Problem {
 	ads := topic.CompetingAds(h, 1, xrand.New(7))
 	topic.UniformBudgets(ads, budget, 1)
 	sigma := incentive.SingletonsOutDegree(ds.Graph)
@@ -327,7 +330,7 @@ func scalabilityProblem(ds gen.Dataset, h int, budget float64, alpha float64) *c
 // time and memory of TI-CARM and TI-CSRM (window 5000) as h grows, with a
 // fixed per-ad budget. ε defaults to 0.3 (the paper's scalability
 // setting).
-func ScalabilityAdvertisers(dataset string, hs []int, budget float64, params Params,
+func ScalabilityAdvertisers(ctx context.Context, dataset string, hs []int, budget float64, params Params,
 	progress func(string)) ([]ScalePoint, error) {
 	params = params.withDefaults()
 	if params.Epsilon == 0 {
@@ -344,14 +347,19 @@ func ScalabilityAdvertisers(dataset string, hs []int, budget float64, params Par
 	if err != nil {
 		return nil, err
 	}
+	model := topic.NewWeightedCascade(ds.Graph)
+	eng := core.NewEngine(ds.Graph, model, core.EngineOptions{
+		Workers:     params.SampleWorkers,
+		SampleBatch: params.SampleBatch,
+	})
 	scaledBudget := budget / float64(params.Scale)
 	var out []ScalePoint
 	for _, h := range hs {
-		p := scalabilityProblem(ds, h, scaledBudget, 0.2)
+		p := scalabilityProblem(ds, model, h, scaledBudget, 0.2)
 		for _, alg := range []Algorithm{AlgTICARM, AlgTICSRM} {
 			progress(fmt.Sprintf("%s h=%d %v", dataset, h, alg))
 			run := params
-			res, err := RunAlgorithm(p, alg, run, nil)
+			res, err := RunAlgorithm(ctx, eng, p, alg, run, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -369,7 +377,7 @@ func ScalabilityAdvertisers(dataset string, hs []int, budget float64, params Par
 
 // ScalabilityBudget reproduces Figure 5(c,d): running time as the per-ad
 // budget grows with h fixed at 5.
-func ScalabilityBudget(dataset string, budgets []float64, params Params,
+func ScalabilityBudget(ctx context.Context, dataset string, budgets []float64, params Params,
 	progress func(string)) ([]ScalePoint, error) {
 	params = params.withDefaults()
 	if params.Epsilon == 0 {
@@ -386,14 +394,19 @@ func ScalabilityBudget(dataset string, budgets []float64, params Params,
 	if err != nil {
 		return nil, err
 	}
+	model := topic.NewWeightedCascade(ds.Graph)
+	eng := core.NewEngine(ds.Graph, model, core.EngineOptions{
+		Workers:     params.SampleWorkers,
+		SampleBatch: params.SampleBatch,
+	})
 	const h = 5
 	var out []ScalePoint
 	for _, budget := range budgets {
 		scaled := budget / float64(params.Scale)
-		p := scalabilityProblem(ds, h, scaled, 0.2)
+		p := scalabilityProblem(ds, model, h, scaled, 0.2)
 		for _, alg := range []Algorithm{AlgTICARM, AlgTICSRM} {
 			progress(fmt.Sprintf("%s budget=%.0f %v", dataset, budget, alg))
-			res, err := RunAlgorithm(p, alg, params, nil)
+			res, err := RunAlgorithm(ctx, eng, p, alg, params, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -9,6 +9,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -130,8 +131,10 @@ func (p Params) withDefaults() Params {
 
 // Workbench holds everything that stays fixed across an experiment sweep
 // for one dataset: the graph, the propagation model, the ads (with budgets
-// and CPEs) and the per-ad singleton spreads that incentive tables are
-// built from.
+// and CPEs), the per-ad singleton spreads that incentive tables are built
+// from, and one long-lived solver Engine — every run in the sweep solves
+// warm on it instead of rebuilding scratch pools and edge probabilities
+// per call.
 type Workbench struct {
 	Params  Params
 	Dataset gen.Dataset
@@ -140,7 +143,13 @@ type Workbench struct {
 	// Singletons[i][u] is σ_i({u}) for ad i (aliased across ads that share
 	// a topic distribution).
 	Singletons [][]float64
+
+	eng *core.Engine
 }
+
+// Engine returns the workbench's long-lived solver Engine (one per
+// dataset/model, shared by every run of the sweep).
+func (w *Workbench) Engine() *core.Engine { return w.eng }
 
 // NewWorkbench builds the workbench for a dataset preset. Budgets follow
 // Table 2, divided by the scale factor so that budget-to-graph-size ratios
@@ -160,6 +169,10 @@ func NewWorkbench(dataset string, params Params) (*Workbench, error) {
 	case gen.ProbWC:
 		w.Model = topic.NewWeightedCascade(ds.Graph)
 	}
+	w.eng = core.NewEngine(ds.Graph, w.Model, core.EngineOptions{
+		Workers:     params.SampleWorkers,
+		SampleBatch: params.SampleBatch,
+	})
 	l := w.Model.NumTopics()
 	w.Ads = topic.CompetingAds(params.H, l, rng.Split())
 
@@ -288,19 +301,29 @@ func rrThroughput(sets int64, d time.Duration) float64 {
 	return float64(sets) / d.Seconds()
 }
 
-// RunAlgorithm executes one algorithm on a problem, evaluates the
-// allocation with fresh Monte-Carlo, and returns the result row. PageRank
-// scores are computed on demand and may be shared across calls via
-// prScores (pass nil to compute internally).
-func RunAlgorithm(p *core.Problem, alg Algorithm, params Params, prScores [][]float64) (RunResult, error) {
+// RunAlgorithm executes one algorithm on a problem through the given
+// long-lived Engine (nil builds a throwaway one — the historical cold
+// path), evaluates the allocation with fresh Monte-Carlo, and returns the
+// result row. The context cancels both the solve and the evaluation.
+// PageRank scores are computed on demand and may be shared across calls
+// via prScores (pass nil to compute internally).
+func RunAlgorithm(ctx context.Context, eng *core.Engine, p *core.Problem, alg Algorithm,
+	params Params, prScores [][]float64) (RunResult, error) {
 	params = params.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if eng == nil {
+		eng = core.NewEngine(p.Graph, p.Model, core.EngineOptions{
+			Workers:     params.SampleWorkers,
+			SampleBatch: params.SampleBatch,
+		})
+	}
 	opt := core.Options{
 		Epsilon:       params.Epsilon,
 		Window:        params.Window,
 		Seed:          params.Seed,
 		MaxThetaPerAd: params.MaxThetaPerAd,
-		Workers:       params.SampleWorkers,
-		SampleBatch:   params.SampleBatch,
 	}
 	var (
 		alloc *core.Allocation
@@ -309,31 +332,36 @@ func RunAlgorithm(p *core.Problem, alg Algorithm, params Params, prScores [][]fl
 	)
 	switch alg {
 	case AlgTICSRM:
-		alloc, stats, err = core.TICSRM(p, opt)
+		opt.Mode = core.ModeCostSensitive
+		alloc, stats, err = eng.Solve(ctx, p, opt)
 	case AlgTICARM:
+		opt.Mode = core.ModeCostAgnostic
 		opt.Window = 0
-		alloc, stats, err = core.TICARM(p, opt)
+		alloc, stats, err = eng.Solve(ctx, p, opt)
 	case AlgPageRankGR:
 		opt.PRScores = prScores
-		alloc, stats, err = baseline.PageRankGR(p, opt)
+		alloc, stats, err = baseline.PageRankGR(ctx, eng, p, opt)
 	case AlgPageRankRR:
 		opt.PRScores = prScores
-		alloc, stats, err = baseline.PageRankRR(p, opt)
+		alloc, stats, err = baseline.PageRankRR(ctx, eng, p, opt)
 	case AlgHighDegree:
 		opt.Mode = core.ModePRGreedy
 		opt.PRScores = baseline.HighDegreeScores(p)
-		alloc, stats, err = core.Run(p, opt)
+		alloc, stats, err = eng.Solve(ctx, p, opt)
 	case AlgRandom:
 		opt.Mode = core.ModePRRoundRobin
 		opt.PRScores = baseline.RandomScores(p, params.Seed)
-		alloc, stats, err = core.Run(p, opt)
+		alloc, stats, err = eng.Solve(ctx, p, opt)
 	default:
 		return RunResult{}, fmt.Errorf("eval: unknown algorithm %v", alg)
 	}
 	if err != nil {
 		return RunResult{}, fmt.Errorf("eval: %v failed: %w", alg, err)
 	}
-	ev := core.EvaluateMC(p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xabcdef)
+	ev, err := eng.Evaluate(ctx, p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xabcdef)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("eval: %v evaluation failed: %w", alg, err)
+	}
 	return RunResult{
 		Algorithm:     alg,
 		Revenue:       ev.TotalRevenue(),

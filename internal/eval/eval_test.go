@@ -2,6 +2,7 @@ package eval
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -79,6 +80,7 @@ func TestFig1Report(t *testing.T) {
 func TestQualitySweepShapes(t *testing.T) {
 	params := tinyParams()
 	cells, err := QualitySweep(
+		context.Background(),
 		[]string{"epinions"},
 		[]incentive.Kind{incentive.Linear, incentive.Constant},
 		PaperAlgorithms(),
@@ -121,6 +123,7 @@ func TestQualityShape(t *testing.T) {
 	params := tinyParams()
 	params.AlphaPoints = 1
 	cells, err := QualitySweep(
+		context.Background(),
 		[]string{"epinions"},
 		[]incentive.Kind{incentive.Linear, incentive.Constant},
 		[]Algorithm{AlgTICARM, AlgTICSRM},
@@ -150,7 +153,7 @@ func TestQualityShape(t *testing.T) {
 
 func TestWindowTradeoff(t *testing.T) {
 	params := tinyParams()
-	points, err := WindowTradeoff("epinions", []float64{0.2}, []int{1, 16, 0}, params, nil)
+	points, err := WindowTradeoff(context.Background(), "epinions", []float64{0.2}, []int{1, 16, 0}, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +174,7 @@ func TestWindowTradeoff(t *testing.T) {
 
 func TestScalabilityAdvertisers(t *testing.T) {
 	params := tinyParams()
-	points, err := ScalabilityAdvertisers("dblp", []int{1, 2}, 10_000, params, nil)
+	points, err := ScalabilityAdvertisers(context.Background(), "dblp", []int{1, 2}, 10_000, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +218,7 @@ func TestScalabilityAdvertisers(t *testing.T) {
 
 func TestScalabilityBudget(t *testing.T) {
 	params := tinyParams()
-	points, err := ScalabilityBudget("dblp", []float64{5_000, 10_000}, params, nil)
+	points, err := ScalabilityBudget(context.Background(), "dblp", []float64{5_000, 10_000}, params, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

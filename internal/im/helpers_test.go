@@ -1,0 +1,22 @@
+package im
+
+import (
+	"context"
+	"testing"
+)
+
+// bg is the no-cancellation context used by tests exercising algorithm
+// behavior rather than cancellation.
+func bg() context.Context { return context.Background() }
+
+// mustIM unwraps a (Result, error) pair, failing the test on error — the
+// standard way tests call the error-returning IM entry points.
+func mustIM(t *testing.T) func(Result, error) Result {
+	return func(r Result, err error) Result {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+}

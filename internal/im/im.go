@@ -17,6 +17,8 @@ package im
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -25,6 +27,12 @@ import (
 	"repro/internal/rrset"
 	"repro/internal/xrand"
 )
+
+// ErrInvalidInput marks structurally invalid arguments (k out of range,
+// mismatched cost vector, non-positive θ). Every validation failure wraps
+// it, so callers dispatch with errors.Is. Cancellation surfaces as the
+// context's own error (context.Canceled / context.DeadlineExceeded).
+var ErrInvalidInput = errors.New("im: invalid input")
 
 // Result reports an influence-maximization run.
 type Result struct {
@@ -64,9 +72,13 @@ func (h *celfHeap) Pop() interface{} {
 // By submodularity, a node's cached marginal gain only decreases as the
 // seed set grows, so a cached entry computed in the current round is
 // exact and can be selected without re-evaluating the rest.
-func GreedyMC(g *graph.Graph, probs []float32, k, runs, workers int, rng *xrand.RNG) Result {
+// Cancellation is checked before every spread evaluation.
+func GreedyMC(ctx context.Context, g *graph.Graph, probs []float32, k, runs, workers int, rng *xrand.RNG) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 0 || int64(k) > int64(g.NumNodes()) {
-		panic(fmt.Sprintf("im: k=%d out of range for %d nodes", k, g.NumNodes()))
+		return Result{}, fmt.Errorf("%w: k=%d out of range for %d nodes", ErrInvalidInput, k, g.NumNodes())
 	}
 	sim := cascade.NewSimulator(g, probs)
 	// Deterministic evaluation stream: derive one sub-seed per seed-set
@@ -89,6 +101,9 @@ func GreedyMC(g *graph.Graph, probs []float32, k, runs, workers int, rng *xrand.
 	var seeds []int32
 	current := 0.0
 	for len(seeds) < k && h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return Result{Seeds: seeds, SpreadEstimate: current}, err
+		}
 		top := heap.Pop(&h).(celfEntry)
 		if top.round == len(seeds) {
 			// Fresh for this round: by submodularity it dominates all
@@ -101,7 +116,7 @@ func GreedyMC(g *graph.Graph, probs []float32, k, runs, workers int, rng *xrand.
 		top.round = len(seeds)
 		heap.Push(&h, top)
 	}
-	return Result{Seeds: seeds, SpreadEstimate: spread(seeds)}
+	return Result{Seeds: seeds, SpreadEstimate: spread(seeds)}, nil
 }
 
 // TIMOptions tunes the TIM and IMM algorithms.
@@ -153,19 +168,26 @@ func (o TIMOptions) withDefaults() TIMOptions {
 // TIM runs Two-phase Influence Maximization: estimate a lower bound KPT
 // on OPT_k, draw θ = L(k, ε) random RR sets, and pick k seeds by greedy
 // maximum coverage. Returns a (1 − 1/e − ε)-approximate seed set with
-// probability at least 1 − n^−ℓ.
-func TIM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG) Result {
+// probability at least 1 − n^−ℓ. Cancellation is honored at sampling
+// batch granularity and surfaces as the context's error.
+func TIM(ctx context.Context, g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 0 || int64(k) > int64(g.NumNodes()) {
-		panic(fmt.Sprintf("im: k=%d out of range for %d nodes", k, g.NumNodes()))
+		return Result{}, fmt.Errorf("%w: k=%d out of range for %d nodes", ErrInvalidInput, k, g.NumNodes())
 	}
 	opt = opt.withDefaults()
 	n := int64(g.NumNodes())
 	if k == 0 || n == 0 {
-		return Result{}
+		return Result{}, nil
 	}
 	pool := opt.poolFor(g)
-	kpt := rrset.KptEstimateParallel(pool.NewStream(probs, rng.Uint64()),
+	kpt, err := rrset.KptEstimateParallelCtx(ctx, pool.NewStream(probs, rng.Uint64()),
 		g.NumEdges(), n, k, opt.Ell)
+	if err != nil {
+		return Result{}, err
+	}
 
 	theta := int(math.Ceil(rrset.Threshold(n, k, opt.Epsilon, opt.Ell, kpt)))
 	if theta > opt.MaxTheta {
@@ -175,7 +197,9 @@ func TIM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		theta = 1
 	}
 	coll := rrset.NewCollection(g.NumNodes())
-	coll.AddFromParallel(pool.NewStream(probs, rng.Uint64()), theta)
+	if err := coll.AddFromParallelCtx(ctx, pool.NewStream(probs, rng.Uint64()), theta); err != nil {
+		return Result{Theta: theta, Kpt: kpt}, err
+	}
 
 	seeds := make([]int32, 0, k)
 	for len(seeds) < k {
@@ -187,7 +211,7 @@ func TIM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		seeds = append(seeds, v)
 	}
 	est := float64(n) * float64(coll.NumCovered()) / float64(coll.Size())
-	return Result{Seeds: seeds, SpreadEstimate: est, Theta: theta, Kpt: kpt}
+	return Result{Seeds: seeds, SpreadEstimate: est, Theta: theta, Kpt: kpt}, nil
 }
 
 // Degree returns the k highest out-degree nodes — the classic baseline.

@@ -1,6 +1,8 @@
 package im
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -26,7 +28,7 @@ func starGraph(leaves int32) (*graph.Graph, []float32) {
 
 func TestGreedyMCPicksHub(t *testing.T) {
 	g, probs := starGraph(12)
-	res := GreedyMC(g, probs, 1, 2000, 2, xrand.New(1))
+	res := mustIM(t)(GreedyMC(bg(), g, probs, 1, 2000, 2, xrand.New(1)))
 	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
 		t.Fatalf("greedy seeds = %v, want [0]", res.Seeds)
 	}
@@ -38,7 +40,7 @@ func TestGreedyMCPicksHub(t *testing.T) {
 
 func TestTIMPicksHub(t *testing.T) {
 	g, probs := starGraph(12)
-	res := TIM(g, probs, 1, TIMOptions{Epsilon: 0.2}, xrand.New(2))
+	res := mustIM(t)(TIM(bg(), g, probs, 1, TIMOptions{Epsilon: 0.2}, xrand.New(2)))
 	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
 		t.Fatalf("TIM seeds = %v, want [0]", res.Seeds)
 	}
@@ -71,7 +73,7 @@ func TestTIMApproximationGuarantee(t *testing.T) {
 			probs[i] = float32(0.2 + 0.5*rng.Float64())
 		}
 		const k = 2
-		res := TIM(g, probs, k, TIMOptions{Epsilon: 0.1}, rng.Split())
+		res := mustIM(t)(TIM(bg(), g, probs, k, TIMOptions{Epsilon: 0.1}, rng.Split()))
 		got := cascade.ExactSpread(g, probs, res.Seeds)
 
 		// Brute-force OPT_2 over all pairs.
@@ -98,8 +100,8 @@ func TestGreedyMCAndTIMAgree(t *testing.T) {
 	probs := model.EdgeProbs(topic.Distribution{1})
 	const k = 5
 
-	tim := TIM(g, probs, k, TIMOptions{Epsilon: 0.15}, rng.Split())
-	mc := GreedyMC(g, probs, k, 3000, 2, rng.Split())
+	tim := mustIM(t)(TIM(bg(), g, probs, k, TIMOptions{Epsilon: 0.15}, rng.Split()))
+	mc := mustIM(t)(GreedyMC(bg(), g, probs, k, 3000, 2, rng.Split()))
 
 	sim := cascade.NewSimulator(g, probs)
 	evalSeed := xrand.New(99)
@@ -117,7 +119,7 @@ func TestSpreadMonotoneInK(t *testing.T) {
 	probs := model.EdgeProbs(topic.Distribution{1})
 	prev := -1.0
 	for _, k := range []int{1, 3, 6} {
-		res := TIM(g, probs, k, TIMOptions{Epsilon: 0.2}, xrand.New(6))
+		res := mustIM(t)(TIM(bg(), g, probs, k, TIMOptions{Epsilon: 0.2}, xrand.New(6)))
 		sim := cascade.NewSimulator(g, probs)
 		s := sim.Spread(res.Seeds, 10000, xrand.New(7))
 		if s < prev-0.5 {
@@ -129,15 +131,39 @@ func TestSpreadMonotoneInK(t *testing.T) {
 
 func TestTIMEdgeCases(t *testing.T) {
 	g, probs := starGraph(4)
-	if res := TIM(g, probs, 0, TIMOptions{}, xrand.New(8)); len(res.Seeds) != 0 {
+	if res := mustIM(t)(TIM(bg(), g, probs, 0, TIMOptions{}, xrand.New(8))); len(res.Seeds) != 0 {
 		t.Error("k=0 should return no seeds")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for k > n")
-		}
-	}()
-	TIM(g, probs, 100, TIMOptions{}, xrand.New(9))
+	if _, err := TIM(bg(), g, probs, 100, TIMOptions{}, xrand.New(9)); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("k > n: got err=%v, want ErrInvalidInput", err)
+	}
+	if _, err := TIM(bg(), g, probs, -1, TIMOptions{}, xrand.New(9)); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("k < 0: got err=%v, want ErrInvalidInput", err)
+	}
+	if _, err := IMM(bg(), g, probs, 100, TIMOptions{}, xrand.New(9)); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("IMM k > n: got err=%v, want ErrInvalidInput", err)
+	}
+	if _, err := GreedyMC(bg(), g, probs, 100, 10, 1, xrand.New(9)); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("GreedyMC k > n: got err=%v, want ErrInvalidInput", err)
+	}
+}
+
+// A canceled context aborts TIM mid-sampling with the context's error —
+// the CLI/server cancellation contract of the IM substrate.
+func TestTIMCancellation(t *testing.T) {
+	g, probs := starGraph(24)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TIM(ctx, g, probs, 2, TIMOptions{}, xrand.New(10)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled TIM: got err=%v, want context.Canceled", err)
+	}
+	if _, err := IMM(ctx, g, probs, 2, TIMOptions{}, xrand.New(10)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled IMM: got err=%v, want context.Canceled", err)
+	}
+	costs := make([]float64, g.NumNodes())
+	if _, err := BudgetedGreedy(ctx, g, probs, costs, 5, 100, TIMOptions{}, xrand.New(10)); !errors.Is(err, context.Canceled) {
+		t.Errorf("canceled BudgetedGreedy: got err=%v, want context.Canceled", err)
+	}
 }
 
 func TestDegreeHeuristic(t *testing.T) {
@@ -187,8 +213,8 @@ func TestGreedyMCDeterministic(t *testing.T) {
 	g := gen.RMAT(64, 300, gen.DefaultRMAT, xrand.New(10))
 	model := topic.NewWeightedCascade(g)
 	probs := model.EdgeProbs(topic.Distribution{1})
-	a := GreedyMC(g, probs, 3, 1000, 2, xrand.New(11))
-	b := GreedyMC(g, probs, 3, 1000, 2, xrand.New(11))
+	a := mustIM(t)(GreedyMC(bg(), g, probs, 3, 1000, 2, xrand.New(11)))
+	b := mustIM(t)(GreedyMC(bg(), g, probs, 3, 1000, 2, xrand.New(11)))
 	for i := range a.Seeds {
 		if a.Seeds[i] != b.Seeds[i] {
 			t.Fatal("GreedyMC not deterministic under fixed seed")

@@ -1,6 +1,8 @@
 package im
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"repro/internal/graph"
@@ -23,14 +25,17 @@ import (
 // max-coverage solution covers a fraction F with n·F ≥ (1+ε')·x_i, accept
 // LB = n·F/(1+ε'); then sample θ = λ*/LB sets and run greedy max
 // coverage.
-func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG) Result {
+func IMM(ctx context.Context, g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 0 || int64(k) > int64(g.NumNodes()) {
-		panic("im: IMM k out of range")
+		return Result{}, fmt.Errorf("%w: IMM k=%d out of range for %d nodes", ErrInvalidInput, k, g.NumNodes())
 	}
 	opt = opt.withDefaults()
 	n := int64(g.NumNodes())
 	if k == 0 || n <= 1 {
-		return Result{}
+		return Result{}, nil
 	}
 	eps := opt.Epsilon
 	ell := opt.Ell
@@ -62,7 +67,9 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 			thetaI = opt.MaxTheta
 		}
 		if coll.Size() < thetaI {
-			coll.AddFromParallel(sampler, thetaI-coll.Size())
+			if err := coll.AddFromParallelCtx(ctx, sampler, thetaI-coll.Size()); err != nil {
+				return Result{}, err
+			}
 		}
 		// Greedy max coverage on a throwaway replay of the collection.
 		frac := greedyCoverageFraction(coll, g.NumNodes(), k)
@@ -92,7 +99,9 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		theta = opt.MaxTheta
 	}
 	final := rrset.NewCollection(g.NumNodes())
-	final.AddFromParallel(pool.NewStream(probs, rng.Uint64()), theta)
+	if err := final.AddFromParallelCtx(ctx, pool.NewStream(probs, rng.Uint64()), theta); err != nil {
+		return Result{Theta: theta, Kpt: lb}, err
+	}
 	seeds := make([]int32, 0, k)
 	for len(seeds) < k {
 		v, cnt := final.MaxCovCount(nil)
@@ -103,7 +112,7 @@ func IMM(g *graph.Graph, probs []float32, k int, opt TIMOptions, rng *xrand.RNG)
 		seeds = append(seeds, v)
 	}
 	est := float64(n) * float64(final.NumCovered()) / float64(final.Size())
-	return Result{Seeds: seeds, SpreadEstimate: est, Theta: theta, Kpt: lb}
+	return Result{Seeds: seeds, SpreadEstimate: est, Theta: theta, Kpt: lb}, nil
 }
 
 // greedyCoverageFraction runs greedy max coverage over a snapshot of the
@@ -138,17 +147,23 @@ func greedyCoverageFraction(c *rrset.Collection, n int32, k int) float64 {
 // that neither rule has alone. Of opt only Workers is consulted — the
 // sample size is the explicit theta, not Eq. 8 — and opt.Workers <= 1
 // reproduces the sequential sampler bit for bit.
-func BudgetedGreedy(g *graph.Graph, probs []float32, costs []float64, budget float64,
-	theta int, opt TIMOptions, rng *xrand.RNG) Result {
+func BudgetedGreedy(ctx context.Context, g *graph.Graph, probs []float32, costs []float64, budget float64,
+	theta int, opt TIMOptions, rng *xrand.RNG) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(costs) != int(g.NumNodes()) {
-		panic("im: BudgetedGreedy needs one cost per node")
+		return Result{}, fmt.Errorf("%w: BudgetedGreedy needs one cost per node (%d costs, %d nodes)",
+			ErrInvalidInput, len(costs), g.NumNodes())
 	}
 	if theta < 1 {
-		panic("im: BudgetedGreedy needs theta >= 1")
+		return Result{}, fmt.Errorf("%w: BudgetedGreedy needs theta >= 1 (got %d)", ErrInvalidInput, theta)
 	}
 	opt = opt.withDefaults()
 	base := rrset.NewCollection(g.NumNodes())
-	base.AddFromParallel(opt.poolFor(g).NewStream(probs, rng.Uint64()), theta)
+	if err := base.AddFromParallelCtx(ctx, opt.poolFor(g).NewStream(probs, rng.Uint64()), theta); err != nil {
+		return Result{Theta: theta}, err
+	}
 
 	run := func(costSensitive bool) ([]int32, float64) {
 		c := rrset.NewCollection(g.NumNodes())
@@ -195,7 +210,7 @@ func BudgetedGreedy(g *graph.Graph, probs []float32, costs []float64, budget flo
 	caSeeds, caSpread := run(false)
 	csSeeds, csSpread := run(true)
 	if caSpread >= csSpread {
-		return Result{Seeds: caSeeds, SpreadEstimate: caSpread, Theta: theta}
+		return Result{Seeds: caSeeds, SpreadEstimate: caSpread, Theta: theta}, nil
 	}
-	return Result{Seeds: csSeeds, SpreadEstimate: csSpread, Theta: theta}
+	return Result{Seeds: csSeeds, SpreadEstimate: csSpread, Theta: theta}, nil
 }

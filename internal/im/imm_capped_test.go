@@ -15,7 +15,7 @@ import (
 func TestIMMCappedLBCarriesCoverageBound(t *testing.T) {
 	g, probs := starGraph(40)
 	// MaxTheta far below λ'/x_1, so round 1 is already capped.
-	res := IMM(g, probs, 1, TIMOptions{Epsilon: 0.2, MaxTheta: 50}, xrand.New(3))
+	res := mustIM(t)(IMM(bg(), g, probs, 1, TIMOptions{Epsilon: 0.2, MaxTheta: 50}, xrand.New(3)))
 	if res.Kpt <= 1 {
 		t.Errorf("capped LB search kept the trivial bound: lb=%v", res.Kpt)
 	}
@@ -39,15 +39,15 @@ func TestSharedPoolMatchesPrivatePools(t *testing.T) {
 	shared := private
 	shared.Pool = pool
 
-	timA := TIM(g, probs, 2, private, xrand.New(9))
-	timB := TIM(g, probs, 2, shared, xrand.New(9))
+	timA := mustIM(t)(TIM(bg(), g, probs, 2, private, xrand.New(9)))
+	timB := mustIM(t)(TIM(bg(), g, probs, 2, shared, xrand.New(9)))
 	if timA.Theta != timB.Theta || timA.Kpt != timB.Kpt ||
 		timA.SpreadEstimate != timB.SpreadEstimate {
 		t.Errorf("TIM diverges on shared pool: %+v vs %+v", timA, timB)
 	}
 
-	immA := IMM(g, probs, 2, private, xrand.New(10))
-	immB := IMM(g, probs, 2, shared, xrand.New(10))
+	immA := mustIM(t)(IMM(bg(), g, probs, 2, private, xrand.New(10)))
+	immB := mustIM(t)(IMM(bg(), g, probs, 2, shared, xrand.New(10)))
 	if immA.Theta != immB.Theta || immA.SpreadEstimate != immB.SpreadEstimate {
 		t.Errorf("IMM diverges on shared pool: %+v vs %+v", immA, immB)
 	}
@@ -56,8 +56,8 @@ func TestSharedPoolMatchesPrivatePools(t *testing.T) {
 	for i := range costs {
 		costs[i] = 1
 	}
-	bgA := BudgetedGreedy(g, probs, costs, 3, 500, private, xrand.New(11))
-	bgB := BudgetedGreedy(g, probs, costs, 3, 500, shared, xrand.New(11))
+	bgA := mustIM(t)(BudgetedGreedy(bg(), g, probs, costs, 3, 500, private, xrand.New(11)))
+	bgB := mustIM(t)(BudgetedGreedy(bg(), g, probs, costs, 3, 500, shared, xrand.New(11)))
 	if bgA.SpreadEstimate != bgB.SpreadEstimate || len(bgA.Seeds) != len(bgB.Seeds) {
 		t.Errorf("BudgetedGreedy diverges on shared pool: %+v vs %+v", bgA, bgB)
 	}

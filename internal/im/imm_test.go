@@ -1,6 +1,7 @@
 package im
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -13,7 +14,7 @@ import (
 
 func TestIMMPicksHub(t *testing.T) {
 	g, probs := starGraph(12)
-	res := IMM(g, probs, 1, TIMOptions{Epsilon: 0.2, MaxTheta: 100000}, xrand.New(1))
+	res := mustIM(t)(IMM(bg(), g, probs, 1, TIMOptions{Epsilon: 0.2, MaxTheta: 100000}, xrand.New(1)))
 	if len(res.Seeds) != 1 || res.Seeds[0] != 0 {
 		t.Fatalf("IMM seeds = %v, want [0]", res.Seeds)
 	}
@@ -46,7 +47,7 @@ func TestIMMGuarantee(t *testing.T) {
 			probs[i] = float32(0.2 + 0.5*rng.Float64())
 		}
 		const k = 2
-		res := IMM(g, probs, k, TIMOptions{Epsilon: 0.1, MaxTheta: 200000}, rng.Split())
+		res := mustIM(t)(IMM(bg(), g, probs, k, TIMOptions{Epsilon: 0.1, MaxTheta: 200000}, rng.Split()))
 		got := cascade.ExactSpread(g, probs, res.Seeds)
 		opt := 0.0
 		for a := int32(0); a < n; a++ {
@@ -72,8 +73,8 @@ func TestIMMMatchesTIM(t *testing.T) {
 	model := topic.NewWeightedCascade(g)
 	probs := model.EdgeProbs(topic.Distribution{1})
 	const k = 5
-	imm := IMM(g, probs, k, TIMOptions{Epsilon: 0.15, MaxTheta: 200000}, rng.Split())
-	tim := TIM(g, probs, k, TIMOptions{Epsilon: 0.15, MaxTheta: 200000}, rng.Split())
+	imm := mustIM(t)(IMM(bg(), g, probs, k, TIMOptions{Epsilon: 0.15, MaxTheta: 200000}, rng.Split()))
+	tim := mustIM(t)(TIM(bg(), g, probs, k, TIMOptions{Epsilon: 0.15, MaxTheta: 200000}, rng.Split()))
 	sim := cascade.NewSimulator(g, probs)
 	sIMM := sim.Spread(imm.Seeds, 20000, xrand.New(9))
 	sTIM := sim.Spread(tim.Seeds, 20000, xrand.New(9))
@@ -91,7 +92,7 @@ func TestIMMThetaSane(t *testing.T) {
 	g := gen.RMAT(256, 2000, gen.DefaultRMAT, rng)
 	model := topic.NewWeightedCascade(g)
 	probs := model.EdgeProbs(topic.Distribution{1})
-	res := IMM(g, probs, 4, TIMOptions{Epsilon: 0.3, MaxTheta: 300000}, rng.Split())
+	res := mustIM(t)(IMM(bg(), g, probs, 4, TIMOptions{Epsilon: 0.3, MaxTheta: 300000}, rng.Split()))
 	if res.Theta < 100 {
 		t.Errorf("suspiciously small θ: %d", res.Theta)
 	}
@@ -110,7 +111,7 @@ func TestBudgetedGreedyRespectsBudget(t *testing.T) {
 		costs[u] = 1 + float64(g.OutDegree(u))
 	}
 	const budget = 20.0
-	res := BudgetedGreedy(g, probs, costs, budget, 20000, TIMOptions{}, rng.Split())
+	res := mustIM(t)(BudgetedGreedy(bg(), g, probs, costs, budget, 20000, TIMOptions{}, rng.Split()))
 	var spent float64
 	seen := map[int32]bool{}
 	for _, u := range res.Seeds {
@@ -153,7 +154,7 @@ func TestBudgetedGreedyMaxTrick(t *testing.T) {
 		costs[u] = 1
 	}
 	costs[0] = 10 // hub price equals the whole budget
-	res := BudgetedGreedy(g, probs, costs, 10, 20000, TIMOptions{Workers: 2}, xrand.New(6))
+	res := mustIM(t)(BudgetedGreedy(bg(), g, probs, costs, 10, 20000, TIMOptions{Workers: 2}, xrand.New(6)))
 	// Cost-sensitive greedy takes the four cheap nodes (spread 12); the
 	// cost-agnostic rule would grab the hub (spread 11). max() must pick
 	// the better: spread ≥ 12.
@@ -162,12 +163,13 @@ func TestBudgetedGreedyMaxTrick(t *testing.T) {
 	}
 }
 
-func TestBudgetedGreedyPanics(t *testing.T) {
+func TestBudgetedGreedyRejectsBadInput(t *testing.T) {
 	g, probs := starGraph(3)
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for wrong cost vector length")
-		}
-	}()
-	BudgetedGreedy(g, probs, []float64{1}, 5, 100, TIMOptions{}, xrand.New(7))
+	if _, err := BudgetedGreedy(bg(), g, probs, []float64{1}, 5, 100, TIMOptions{}, xrand.New(7)); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("wrong cost vector length: got err=%v, want ErrInvalidInput", err)
+	}
+	costs := make([]float64, g.NumNodes())
+	if _, err := BudgetedGreedy(bg(), g, probs, costs, 5, 0, TIMOptions{}, xrand.New(7)); !errors.Is(err, ErrInvalidInput) {
+		t.Errorf("theta=0: got err=%v, want ErrInvalidInput", err)
+	}
 }

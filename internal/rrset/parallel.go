@@ -1,6 +1,8 @@
 package rrset
 
 import (
+	"context"
+
 	"repro/internal/graph"
 )
 
@@ -42,9 +44,18 @@ type SampleSource interface {
 	SampleN(count int, yield func(nodes []int32, width int64))
 }
 
+// CtxSampleSource is a SampleSource with cooperative cancellation: a
+// canceled context stops emission at the next batch boundary and is
+// reported as the returned error. See Stream.SampleNCtx for the effect
+// of cancellation on a stream's deterministic replay.
+type CtxSampleSource interface {
+	SampleSource
+	SampleNCtx(ctx context.Context, count int, yield func(nodes []int32, width int64)) error
+}
+
 var (
-	_ SampleSource = (*Stream)(nil)
-	_ SampleSource = (*ParallelSampler)(nil)
+	_ CtxSampleSource = (*Stream)(nil)
+	_ CtxSampleSource = (*ParallelSampler)(nil)
 )
 
 // ParallelSampler draws random RR sets for one ad on a private Pool of
@@ -88,10 +99,23 @@ func (c *Collection) AddFromParallel(src SampleSource, count int) {
 	src.SampleN(count, func(nodes []int32, _ int64) { c.Add(nodes) })
 }
 
+// AddFromParallelCtx is AddFromParallel with cooperative cancellation: on
+// a canceled context it stops after adding only a prefix of the requested
+// sets and returns the context's error.
+func (c *Collection) AddFromParallelCtx(ctx context.Context, src CtxSampleSource, count int) error {
+	return src.SampleNCtx(ctx, count, func(nodes []int32, _ int64) { c.Add(nodes) })
+}
+
 // AddFromParallel samples count RR sets from the source into the
 // universe; see Collection.AddFromParallel for the concurrency contract.
 func (u *Universe) AddFromParallel(src SampleSource, count int) {
 	src.SampleN(count, func(nodes []int32, _ int64) { u.Add(nodes) })
+}
+
+// AddFromParallelCtx is AddFromParallel with cooperative cancellation;
+// see Collection.AddFromParallelCtx.
+func (u *Universe) AddFromParallelCtx(ctx context.Context, src CtxSampleSource, count int) error {
+	return src.SampleNCtx(ctx, count, func(nodes []int32, _ int64) { u.Add(nodes) })
 }
 
 // KptEstimateParallel is KptEstimate drawing its geometric batches from a
@@ -100,7 +124,19 @@ func (u *Universe) AddFromParallel(src SampleSource, count int) {
 // fixed configuration, and a single-worker source reproduces the
 // sequential KptEstimate bit for bit.
 func KptEstimateParallel(src SampleSource, m, n int64, size int, ell float64) float64 {
-	return kptEstimate(func(count int, yield func(width int64)) {
+	kpt, _ := kptEstimate(func(count int, yield func(width int64)) error {
 		src.SampleN(count, func(_ []int32, width int64) { yield(width) })
+		return nil
+	}, m, n, size, ell)
+	return kpt
+}
+
+// KptEstimateParallelCtx is KptEstimateParallel with cooperative
+// cancellation: a canceled context aborts the estimation loop at the next
+// batch boundary and returns the context's error (the partial estimate is
+// meaningless and discarded).
+func KptEstimateParallelCtx(ctx context.Context, src CtxSampleSource, m, n int64, size int, ell float64) (float64, error) {
+	return kptEstimate(func(count int, yield func(width int64)) error {
+		return src.SampleNCtx(ctx, count, func(_ []int32, width int64) { yield(width) })
 	}, m, n, size, ell)
 }

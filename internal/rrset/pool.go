@@ -1,6 +1,7 @@
 package rrset
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -206,8 +207,25 @@ func (p *Pool) NewStream(probs []float32, seed uint64) *Stream {
 // goroutine. The emission order is deterministic for a fixed stream
 // configuration.
 func (s *Stream) SampleN(count int, yield func(nodes []int32, width int64)) {
+	s.SampleNCtx(context.Background(), count, yield)
+}
+
+// SampleNCtx is SampleN with cooperative cancellation: the context is
+// checked once per batch (the pool's BatchSize), so a canceled sampling
+// request returns within one batch's worth of reverse BFS work. On
+// cancellation it returns the context's error after emitting only a
+// prefix of the requested sets.
+//
+// Cancellation aborts the stream's deterministic replay: with multiple
+// workers, batches drawn but not yet merged are discarded, so the RNG
+// streams advance past the emitted prefix and LATER SampleN calls on the
+// same Stream no longer reproduce the uncanceled sequence. Every emitted
+// set is still an exact RR-set draw — only bit-reproducibility of the
+// stream's continuation is lost. Callers that cache streams across runs
+// must discard a stream whose SampleNCtx returned an error.
+func (s *Stream) SampleNCtx(ctx context.Context, count int, yield func(nodes []int32, width int64)) error {
 	if count <= 0 {
-		return
+		return ctx.Err()
 	}
 	p := s.pool
 	if len(s.rngs) == 1 {
@@ -225,6 +243,9 @@ func (s *Stream) SampleN(count int, yield func(nodes []int32, width int64)) {
 		}
 		buf := make([]sample, 0, bufCap)
 		for done := 0; done < count; {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			chunk := p.batch
 			if chunk > count-done {
 				chunk = count - done
@@ -241,7 +262,7 @@ func (s *Stream) SampleN(count int, yield func(nodes []int32, width int64)) {
 			}
 			done += chunk
 		}
-		return
+		return nil
 	}
 	w := len(s.rngs)
 	numBatches := (count + p.batch - 1) / p.batch
@@ -261,6 +282,9 @@ func (s *Stream) SampleN(count int, yield func(nodes []int32, width int64)) {
 		go func(wi int, rng *xrand.RNG) {
 			defer wg.Done()
 			for b := wi; b < numBatches; b += w {
+				if ctx.Err() != nil {
+					break
+				}
 				lo := b * p.batch
 				hi := lo + p.batch
 				if hi > count {
@@ -282,9 +306,24 @@ func (s *Stream) SampleN(count int, yield func(nodes []int32, width int64)) {
 		}(wi, s.rngs[wi])
 	}
 	for b := 0; b < numBatches; b++ {
-		for _, smp := range <-chans[b%w] {
+		batch, ok := <-chans[b%w]
+		if !ok {
+			// The producer of this batch observed cancellation and closed
+			// its channel early; the merged prefix ends here.
+			break
+		}
+		for _, smp := range batch {
 			yield(smp.nodes, smp.width)
 		}
 	}
+	// Unblock any workers parked on a full channel (the merge loop may
+	// have exited early), then discard their in-flight batches. On the
+	// uncanceled path every channel is already closed and empty, so this
+	// drain is free.
+	for _, ch := range chans {
+		for range ch { //nolint:revive // draining
+		}
+	}
 	wg.Wait()
+	return ctx.Err()
 }

@@ -88,8 +88,16 @@ type View struct {
 
 // NewView creates a view over the universe's current contents.
 func NewView(u *Universe) *View {
+	return NewViewPrefix(u, u.Size())
+}
+
+// NewViewPrefix creates a view over the first min(limit, Size()) sets of
+// the universe. A long-lived universe cache hands prefix views to solver
+// sessions so that a universe pre-grown by an earlier session replays
+// exactly the sample sizes a cold run would have seen.
+func NewViewPrefix(u *Universe, limit int) *View {
 	v := &View{u: u, covCount: make([]int32, u.n)}
-	v.Sync()
+	v.SyncTo(limit)
 	return v
 }
 
@@ -97,15 +105,28 @@ func NewView(u *Universe) *View {
 // returns how many were integrated. New sets start uncovered, so every
 // member node's marginal coverage grows.
 func (v *View) Sync() int {
+	return v.SyncTo(v.u.Size())
+}
+
+// SyncTo integrates universe sets beyond the view's current prefix up to
+// (but never beyond) the first min(limit, Size()) sets, returning how
+// many were integrated. A limit at or below the current prefix is a
+// no-op — views never shrink.
+func (v *View) SyncTo(limit int) int {
+	if limit > v.u.Size() {
+		limit = v.u.Size()
+	}
 	added := 0
-	for id := v.synced; id < v.u.Size(); id++ {
+	for id := v.synced; id < limit; id++ {
 		v.covered = append(v.covered, false)
 		for _, x := range v.u.sets[id] {
 			v.covCount[x]++
 		}
 		added++
 	}
-	v.synced = v.u.Size()
+	if limit > v.synced {
+		v.synced = limit
+	}
 	return added
 }
 

@@ -19,16 +19,26 @@
 //   - Evaluation: an independent Monte-Carlo scorer plus the experiment
 //     drivers that regenerate every table and figure of the paper.
 //
-// Quickstart:
+// The substrate is the long-lived Engine: construct one per
+// (graph, topic model) with NewEngine — or take the Workbench's — and
+// issue any number of concurrent, cancellable Solve/Evaluate sessions on
+// it. Quickstart:
 //
 //	w, _ := repro.NewWorkbench("flixster", repro.Params{Scale: repro.ScaleTiny, H: 4})
+//	eng := w.Engine() // construct once ...
 //	p := w.Problem(repro.Linear, 0.2)
-//	alloc, stats, _ := repro.TICSRM(p, repro.Options{Epsilon: 0.3})
-//	ev := repro.EvaluateMC(p, alloc, 2000, 2, 1)
+//	alloc, stats, _ := eng.Solve(ctx, p, repro.Options{Mode: repro.ModeCostSensitive, Epsilon: 0.3})
+//	ev, _ := eng.Evaluate(ctx, p, alloc, 2000, 2, 1) // ... solve and score many times
 //	fmt.Println("revenue:", ev.TotalRevenue(), "in", stats.Duration)
+//
+// The legacy one-shot helpers (TICSRM, TICARM, PageRankGR/RR) remain as
+// thin wrappers over a throwaway Engine and reproduce historical results
+// bit for bit.
 package repro
 
 import (
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -45,7 +55,7 @@ type (
 	Problem = core.Problem
 	// Allocation is a feasible seeds-to-ads assignment with accounting.
 	Allocation = core.Allocation
-	// Options configures the scalable engine.
+	// Options configures one solve session.
 	Options = core.Options
 	// Stats reports engine work (θ per ad, memory, duration).
 	Stats = core.Stats
@@ -53,7 +63,39 @@ type (
 	Evaluation = core.Evaluation
 	// SpreadOracle abstracts σ_i(S) access for the reference algorithms.
 	SpreadOracle = core.SpreadOracle
+	// Engine is the long-lived, concurrent-safe solver session factory:
+	// construct once per (graph, topic model), then Solve/Evaluate many
+	// times, concurrently if desired.
+	Engine = core.Engine
+	// EngineOptions fixes an Engine's sampling configuration.
+	EngineOptions = core.EngineOptions
+	// ProgressEvent is one streaming progress notification from a solve.
+	ProgressEvent = core.ProgressEvent
+	// ProgressKind labels a ProgressEvent.
+	ProgressKind = core.ProgressKind
 )
+
+// Sentinel errors of the solve path; dispatch with errors.Is.
+var (
+	// ErrInvalidProblem marks structurally invalid input.
+	ErrInvalidProblem = core.ErrInvalidProblem
+	// ErrInfeasible marks a solve whose allocation fails its constraints.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrCanceled marks a solve aborted by its context; the chain also
+	// matches the originating context error.
+	ErrCanceled = core.ErrCanceled
+)
+
+// Progress event kinds.
+const (
+	ProgressSampleGrowth = core.ProgressSampleGrowth
+	ProgressSeedAssigned = core.ProgressSeedAssigned
+)
+
+// NewEngine builds a long-lived Engine for the graph and topic model.
+func NewEngine(g *Graph, model *TopicModel, opts EngineOptions) *Engine {
+	return core.NewEngine(g, model, opts)
+}
 
 // Substrate types.
 type (
@@ -136,24 +178,28 @@ func NewWorkbench(dataset string, params Params) (*Workbench, error) {
 	return eval.NewWorkbench(dataset, params)
 }
 
-// TICSRM runs the scalable cost-sensitive algorithm (the paper's winner).
+// TICSRM runs the scalable cost-sensitive algorithm (the paper's winner)
+// on a throwaway Engine — the legacy one-shot entry point. Long-lived
+// callers should Solve on one Engine instead.
 func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return core.TICSRM(p, opt)
 }
 
-// TICARM runs the scalable cost-agnostic algorithm.
+// TICARM runs the scalable cost-agnostic algorithm on a throwaway Engine.
 func TICARM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return core.TICARM(p, opt)
 }
 
-// PageRankGR runs the PageRank + greedy-assignment baseline.
-func PageRankGR(p *Problem, opt Options) (*Allocation, *Stats, error) {
-	return baseline.PageRankGR(p, opt)
+// PageRankGR runs the PageRank + greedy-assignment baseline. A nil eng
+// uses a throwaway Engine (the historical one-shot behavior).
+func PageRankGR(ctx context.Context, eng *Engine, p *Problem, opt Options) (*Allocation, *Stats, error) {
+	return baseline.PageRankGR(ctx, eng, p, opt)
 }
 
-// PageRankRR runs the PageRank + round-robin baseline.
-func PageRankRR(p *Problem, opt Options) (*Allocation, *Stats, error) {
-	return baseline.PageRankRR(p, opt)
+// PageRankRR runs the PageRank + round-robin baseline. A nil eng uses a
+// throwaway Engine.
+func PageRankRR(ctx context.Context, eng *Engine, p *Problem, opt Options) (*Allocation, *Stats, error) {
+	return baseline.PageRankRR(ctx, eng, p, opt)
 }
 
 // CAGreedy runs the reference cost-agnostic greedy (Algorithm 1) against a

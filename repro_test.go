@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"path/filepath"
 	"testing"
@@ -54,11 +55,16 @@ func TestPublicAPIAllAlgorithms(t *testing.T) {
 	}
 	p := w.Problem(Sublinear, 12)
 	opt := Options{Epsilon: 0.3, Seed: 7, MaxThetaPerAd: 30000}
+	ctx := context.Background()
 	for name, run := range map[string]func(*Problem, Options) (*Allocation, *Stats, error){
-		"TI-CSRM":     TICSRM,
-		"TI-CARM":     TICARM,
-		"PageRank-GR": PageRankGR,
-		"PageRank-RR": PageRankRR,
+		"TI-CSRM": TICSRM,
+		"TI-CARM": TICARM,
+		"PageRank-GR": func(p *Problem, opt Options) (*Allocation, *Stats, error) {
+			return PageRankGR(ctx, nil, p, opt)
+		},
+		"PageRank-RR": func(p *Problem, opt Options) (*Allocation, *Stats, error) {
+			return PageRankRR(ctx, nil, p, opt)
+		},
 	} {
 		alloc, _, err := run(p, opt)
 		if err != nil {
@@ -100,11 +106,17 @@ func TestPublicAPIIMAndLearning(t *testing.T) {
 	g := w.Dataset.Graph
 	probs := w.Model.EdgeProbs(w.Ads[0].Gamma)
 
-	tim := TIM(g, probs, 3, TIMOptions{Epsilon: 0.3, MaxTheta: 20000}, rng.Split())
+	tim, err := TIM(context.Background(), g, probs, 3, TIMOptions{Epsilon: 0.3, MaxTheta: 20000}, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tim.Seeds) != 3 {
 		t.Fatalf("TIM returned %d seeds", len(tim.Seeds))
 	}
-	greedy := GreedyIM(g, probs, 3, 500, 2, rng.Split())
+	greedy, err := GreedyIM(context.Background(), g, probs, 3, 500, 2, rng.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(greedy.Seeds) != 3 {
 		t.Fatalf("GreedyIM returned %d seeds", len(greedy.Seeds))
 	}
