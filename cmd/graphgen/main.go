@@ -1,12 +1,23 @@
 // Command graphgen generates synthetic social graphs — either the paper's
 // dataset presets or raw generator families — and writes them as edge-list
-// files readable by graph.LoadEdgeList.
+// files readable by dataset.LoadEdgeList or, with -format=snapshot, as
+// binary dataset snapshots (graph + influence-probability model in one
+// file) that rmsolve/rmbench load back without regenerating anything.
 //
 // Examples:
 //
 //	graphgen -preset=flixster -scale=small -out=flixster.txt
-//	graphgen -model=rmat -n=100000 -m=1000000 -out=rmat.txt
+//	graphgen -dataset=epinions -scale=medium -format=snapshot -out=epinions.snap
+//	graphgen -model=rmat -n=100000 -m=1000000 -out=rmat.txt.gz
 //	graphgen -model=ba -n=50000 -k=3 -stats
+//
+// A preset snapshot freezes exactly the graph and probability model the
+// experiment harness would synthesize for the same (preset, scale,
+// seed): `rmsolve -snapshot=epinions.snap` solves on bit-identical
+// network structures. Advertiser rosters and budget draws are not
+// frozen by graphgen — the harness re-draws them on its snapshot path —
+// so to pin a complete instance including ads, embed a roster with the
+// library's dataset.SnapshotOf/Save.
 package main
 
 import (
@@ -14,13 +25,16 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/topic"
 	"repro/internal/xrand"
 )
 
 var (
 	preset    = flag.String("preset", "", "dataset preset: flixster|epinions|dblp|livejournal")
+	datasetFl = flag.String("dataset", "", "alias for -preset (matches the solver CLIs)")
 	scaleFlag = flag.String("scale", "small", "preset scale: tiny|small|medium|full")
 	model     = flag.String("model", "", "raw generator: er|ba|ws|rmat|powerlaw")
 	nFlag     = flag.Int("n", 10000, "number of nodes (raw generators)")
@@ -30,7 +44,8 @@ var (
 	exponent  = flag.Float64("exponent", 2.0, "power-law exponent (powerlaw)")
 	maxDeg    = flag.Int("maxdeg", 1000, "max out-degree (powerlaw)")
 	seed      = flag.Uint64("seed", 1, "random seed")
-	out       = flag.String("out", "", "output edge-list path (default: stdout)")
+	format    = flag.String("format", "edgelist", "output format: edgelist|snapshot")
+	out       = flag.String("out", "", "output path (default: stdout; edge lists gzip when it ends in .gz)")
 	stats     = flag.Bool("stats", false, "print degree statistics to stderr")
 )
 
@@ -42,50 +57,70 @@ func main() {
 	}
 }
 
-func build() (*graph.Graph, error) {
+// build synthesizes the requested source: a registry preset (graph plus
+// its quality-run model) or a raw generator graph wrapped with
+// weighted-cascade probabilities so it is snapshot-complete.
+func build() (*dataset.Source, error) {
 	rng := xrand.New(*seed)
-	if *preset != "" {
+	name := *preset
+	if name == "" {
+		name = *datasetFl
+	}
+	if name != "" {
 		scale, err := gen.ParseScale(*scaleFlag)
 		if err != nil {
 			return nil, err
 		}
-		ds, err := gen.ByName(*preset, scale, rng)
-		if err != nil {
-			return nil, err
-		}
-		return ds.Graph, nil
+		return dataset.Default.Open(name, scale, rng)
 	}
 	n := int32(*nFlag)
+	var g *graph.Graph
 	switch *model {
 	case "er":
-		return gen.ErdosRenyi(n, *mFlag, rng), nil
+		g = gen.ErdosRenyi(n, *mFlag, rng)
 	case "ba":
-		return gen.BarabasiAlbert(n, *kFlag, rng), nil
+		g = gen.BarabasiAlbert(n, *kFlag, rng)
 	case "ws":
-		return gen.WattsStrogatz(n, *kFlag, *beta, rng), nil
+		g = gen.WattsStrogatz(n, *kFlag, *beta, rng)
 	case "rmat":
-		return gen.RMAT(n, *mFlag, gen.DefaultRMAT, rng), nil
+		g = gen.RMAT(n, *mFlag, gen.DefaultRMAT, rng)
 	case "powerlaw":
-		return gen.PowerLawConfiguration(n, *exponent, *maxDeg, rng), nil
+		g = gen.PowerLawConfiguration(n, *exponent, *maxDeg, rng)
 	case "":
-		return nil, fmt.Errorf("either -preset or -model is required")
+		return nil, fmt.Errorf("either -preset/-dataset or -model is required")
+	default:
+		return nil, fmt.Errorf("unknown model %q", *model)
 	}
-	return nil, fmt.Errorf("unknown model %q", *model)
+	return &dataset.Source{
+		Dataset: gen.Dataset{Name: *model, Graph: g, Directed: true, ProbModel: gen.ProbWC},
+		Model:   topic.NewWeightedCascade(g),
+	}, nil
 }
 
 func run() error {
-	g, err := build()
+	src, err := build()
 	if err != nil {
 		return err
 	}
+	g := src.Dataset.Graph
 	if *stats {
 		s := g.Stats()
 		fmt.Fprintf(os.Stderr,
 			"nodes=%d edges=%d max-out=%d max-in=%d mean-out=%.2f sinks=%d sources=%d\n",
 			g.NumNodes(), g.NumEdges(), s.MaxOut, s.MaxIn, s.MeanOut, s.ZeroOut, s.ZeroIn)
 	}
-	if *out == "" {
-		return graph.WriteEdgeList(os.Stdout, g)
+	switch *format {
+	case "edgelist":
+		if *out == "" {
+			return graph.WriteEdgeList(os.Stdout, g)
+		}
+		return dataset.SaveEdgeList(*out, g)
+	case "snapshot":
+		snap := dataset.SnapshotOf(src, nil)
+		if *out == "" {
+			return dataset.Write(os.Stdout, snap)
+		}
+		return dataset.Save(*out, snap)
 	}
-	return graph.SaveEdgeList(*out, g)
+	return fmt.Errorf("unknown format %q (want edgelist|snapshot)", *format)
 }

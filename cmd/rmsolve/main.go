@@ -7,6 +7,12 @@
 //	rmsolve -dataset=flixster -scale=tiny -h=4 -alg=ti-csrm -kind=linear -alpha=0.2
 //	rmsolve -dataset=epinions -scale=small -alg=ti-carm -eps=0.3
 //	rmsolve -dataset=dblp -scale=small -alg=pagerank-rr -kind=sublinear -alpha=2
+//	rmsolve -snapshot=epinions.snap -h=4 -alg=ti-csrm
+//
+// -snapshot solves on a binary dataset snapshot (see graphgen
+// -format=snapshot) or an edge-list file instead of synthesizing the
+// preset; snapshots load the graph and probability model back exactly,
+// so repeated studies of one instance skip regeneration entirely.
 package main
 
 import (
@@ -22,13 +28,15 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/incentive"
 )
 
 var (
-	dataset   = flag.String("dataset", "flixster", "dataset preset")
+	datasetFl = flag.String("dataset", "flixster", "dataset name (preset or registered file entry)")
+	snapFlag  = flag.String("snapshot", "", "solve on a snapshot/edge-list file instead of a synthesized preset (overrides -dataset/-scale)")
 	scaleFlag = flag.String("scale", "tiny", "dataset scale: tiny|small|medium|full")
 	hFlag     = flag.Int("h", 4, "number of advertisers")
 	algFlag   = flag.String("alg", "ti-csrm", "algorithm: ti-csrm|ti-carm|pagerank-gr|pagerank-rr")
@@ -84,7 +92,19 @@ func run(ctx context.Context) error {
 	}
 	params := eval.Params{Scale: scale, Seed: *seed, H: *hFlag, Epsilon: *epsFlag,
 		Window: *window, MaxThetaPerAd: *maxTheta, SampleWorkers: nw, SampleBatch: *batch}
-	w, err := eval.NewWorkbench(*dataset, params)
+	name := *datasetFl
+	if *snapFlag != "" {
+		// Register the file under its own path so the workbench resolves
+		// it through the shared registry like any other dataset name. A
+		// collision (e.g. a file literally named "dblp") is an error —
+		// silently resolving the synthetic preset instead of the user's
+		// file would solve a different graph.
+		name = *snapFlag
+		if err := dataset.Default.RegisterFile(name, *snapFlag); err != nil {
+			return err
+		}
+	}
+	w, err := eval.NewWorkbench(name, params)
 	if err != nil {
 		return err
 	}
@@ -139,7 +159,7 @@ func run(ctx context.Context) error {
 		throughput = float64(stats.TotalRRSets) / s
 	}
 	fmt.Printf("dataset=%s scale=%s nodes=%d edges=%d h=%d alg=%s kind=%s alpha=%g eps=%g\n",
-		*dataset, scale, p.Graph.NumNodes(), p.Graph.NumEdges(), *hFlag,
+		w.Dataset.Name, scale, p.Graph.NumNodes(), p.Graph.NumEdges(), *hFlag,
 		*algFlag, kind, *alpha, *epsFlag)
 	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory + %.1f MB sampler scratch, %d workers, %.0f RR sets/sec\n\n",
 		stats.Duration.Round(1e6), stats.TotalRRSets,

@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// maybeGzip wraps r in a gzip reader when the stream starts with the
+// gzip magic, buffering either way. Detection is by content, not file
+// extension, so ".txt" files that are secretly compressed still load.
+func maybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Too short to be compressed; let the caller's parser report it.
+		return br, nil
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, err
+		}
+		return bufio.NewReaderSize(zr, 1<<20), nil
+	}
+	return br, nil
+}
+
+// ReadEdgeList parses the plain-text edge-list format of
+// graph.WriteEdgeList — an optional "# nodes N edges M" header, one
+// "u v" arc per line, '#' comments — streaming line by line with a
+// hand-rolled field parser (no per-line allocation, no Sscanf), which is
+// what makes the text path usable as a fallback on large files. The
+// reader never slurps the file: peak memory is the arc arrays plus one
+// line buffer.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var n int32 = -1
+	var srcs, dsts []int32
+	maxID := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		i, end := 0, len(line)
+		for i < end && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+			i++
+		}
+		if i == end {
+			continue
+		}
+		if line[i] == '#' {
+			if hn, ok := parseHeader(string(line[i:])); ok {
+				n = hn
+			}
+			continue
+		}
+		u, i, err := parseID(line, i, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := parseID(line, i, lineNo)
+		if err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, u)
+		dsts = append(dsts, v)
+		if u > maxID {
+			maxID = u
+		}
+		if v > maxID {
+			maxID = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		n = maxID + 1
+	}
+	if maxID >= n {
+		return nil, fmt.Errorf("dataset: node id %d exceeds declared node count %d", maxID, n)
+	}
+	return graph.FromEdges(n, srcs, dsts), nil
+}
+
+// parseHeader extracts N from a "# nodes N edges M" comment line.
+func parseHeader(line string) (int32, bool) {
+	var hn int32
+	var he int64
+	if _, err := fmt.Sscanf(line, "# nodes %d edges %d", &hn, &he); err != nil {
+		return 0, false
+	}
+	return hn, true
+}
+
+// parseID reads one decimal node ID from line starting at offset i,
+// skipping leading blanks, and returns the value and the offset past it.
+func parseID(line []byte, i, lineNo int) (int32, int, error) {
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t' || line[i] == '\r') {
+		i++
+	}
+	start := i
+	var v int64
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		v = v*10 + int64(line[i]-'0')
+		if v > 1<<31-1 {
+			return 0, i, fmt.Errorf("dataset: line %d: node id overflows int32", lineNo)
+		}
+		i++
+	}
+	if i == start {
+		return 0, i, fmt.Errorf("dataset: line %d: expected 'u v', got %q", lineNo, string(line))
+	}
+	if i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
+		return 0, i, fmt.Errorf("dataset: line %d: bad node id in %q", lineNo, string(line))
+	}
+	return int32(v), i, nil
+}
+
+// LoadEdgeList reads an edge-list file, decompressing gzip content
+// transparently.
+func LoadEdgeList(path string) (*graph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := maybeGzip(f)
+	if err != nil {
+		return nil, err
+	}
+	return ReadEdgeList(r)
+}
+
+// SaveEdgeList writes the graph as a text edge list; a ".gz" suffix
+// selects gzip compression.
+func SaveEdgeList(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		if err := graph.WriteEdgeList(zw, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,32 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// A corrupt slice-length prefix must fail with ErrBadSnapshot without
+// allocating ahead of the actual stream content.
+func TestSnapshotCorruptLengthPrefix(t *testing.T) {
+	raw := encode(t, testSnapshot(t, 8))
+	// outOff count field sits right after the fixed header; find it by
+	// locating the first u64 equal to n+1 (301) after offset 12.
+	n1 := uint64(301)
+	off := -1
+	for i := 12; i < len(raw)-8; i++ {
+		if binary.LittleEndian.Uint64(raw[i:]) == n1 {
+			off = i
+			break
+		}
+	}
+	if off < 0 {
+		t.Fatal("could not locate outOff length prefix")
+	}
+	bad := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(bad[off:], uint64(1)<<37) // huge but under maxEdges
+	if _, err := Read(bytes.NewReader(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("huge length prefix: got %v, want ErrBadSnapshot", err)
+	}
+}

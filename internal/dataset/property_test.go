@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/incentive"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// problemOn materializes an RM instance on the given source: competing
+// ads, uniform budgets, linear incentives on the out-degree proxy.
+func problemOn(src *Source, h int) *core.Problem {
+	ads := topic.CompetingAds(h, src.Model.NumTopics(), xrand.New(99))
+	topic.UniformBudgets(ads, 60, 1)
+	sigma := incentive.SingletonsOutDegree(src.Dataset.Graph)
+	tab := incentive.Build(incentive.Linear, 0.2, sigma)
+	incs := make([]*incentive.Table, h)
+	for i := range incs {
+		incs[i] = tab
+	}
+	return &core.Problem{Graph: src.Dataset.Graph, Model: src.Model, Ads: ads, Incentives: incs}
+}
+
+// TestSnapshotSolveBitIdentical is the end-to-end round-trip property:
+// for a spread of seeds, solving on a snapshot loaded back from bytes is
+// bit-identical — same seeds, revenues, θ schedule, RR-set counts — to
+// solving on the structures the Builder path produced, at Workers=1 and
+// Workers=4 and in both engine modes.
+func TestSnapshotSolveBitIdentical(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		rng := xrand.New(seed)
+		g := gen.RMAT(150, 1100, gen.DefaultRMAT, rng)
+		params := topic.DefaultTICParams()
+		params.L = 2
+		model := topic.NewTICRandom(g, params, rng.Split())
+
+		built := &Source{
+			Dataset: gen.Dataset{Name: "prop", Graph: g, Directed: true, ProbModel: gen.ProbTIC},
+			Model:   model,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, SnapshotOf(built, nil)); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded := SourceOf(snap)
+
+		for _, workers := range []int{1, 4} {
+			for _, mode := range []core.Mode{core.ModeCostAgnostic, core.ModeCostSensitive} {
+				t.Run(fmt.Sprintf("seed=%d/workers=%d/%v", seed, workers, mode), func(t *testing.T) {
+					opt := core.Options{Mode: mode, Epsilon: 0.3, Seed: seed}
+					run := func(src *Source) (*core.Allocation, *core.Stats) {
+						eng := core.NewEngine(src.Dataset.Graph, src.Model,
+							core.EngineOptions{Workers: workers})
+						alloc, stats, err := eng.Solve(context.Background(), problemOn(src, 3), opt)
+						if err != nil {
+							t.Fatalf("solve: %v", err)
+						}
+						return alloc, stats
+					}
+					wantAlloc, wantStats := run(built)
+					gotAlloc, gotStats := run(loaded)
+					if !reflect.DeepEqual(wantAlloc, gotAlloc) {
+						t.Fatalf("allocations differ:\nbuilder: %+v\nsnapshot: %+v", wantAlloc, gotAlloc)
+					}
+					if !reflect.DeepEqual(wantStats.Theta, gotStats.Theta) ||
+						!reflect.DeepEqual(wantStats.Kpt, gotStats.Kpt) ||
+						wantStats.TotalRRSets != gotStats.TotalRRSets ||
+						wantStats.RRMemoryBytes != gotStats.RRMemoryBytes {
+						t.Fatalf("stats differ:\nbuilder: θ=%v kpt=%v rr=%d\nsnapshot: θ=%v kpt=%v rr=%d",
+							wantStats.Theta, wantStats.Kpt, wantStats.TotalRRSets,
+							gotStats.Theta, gotStats.Kpt, gotStats.TotalRRSets)
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// Source is a resolved dataset, ready for an Engine: the graph with its
+// Table 1 metadata plus the influence-probability model aligned to it.
+// Sources loaded from snapshots may also carry a frozen ad roster.
+type Source struct {
+	Dataset gen.Dataset
+	Model   *topic.Model
+	// Ads is the roster embedded in a snapshot (empty otherwise); the
+	// harness uses it instead of re-drawing advertisers when it covers
+	// the requested h.
+	Ads []topic.Ad
+	// FromSnapshot records that the source was loaded from a file, so
+	// callers know the Scale/seed parameters were ignored.
+	FromSnapshot bool
+}
+
+// BuildFunc synthesizes a Source at the given scale. The rng is the
+// caller's stream: builders must draw from it exactly as the historical
+// harness did (graph first, then one Split for a TIC model) so that
+// registry-resolved runs stay bit-identical to the pre-registry ones.
+type BuildFunc func(s gen.Scale, rng *xrand.RNG) (*Source, error)
+
+type entry struct {
+	build BuildFunc // synthetic entries
+	path  string    // file-backed entries (build == nil)
+}
+
+// Registry maps dataset names to sources: the four synthetic presets
+// (each available at the tiny|small|medium|full scales) plus any
+// registered file-backed entries (binary snapshots or text edge lists,
+// sniffed by content). One registry — Default — is shared by rmbench,
+// rmsolve, graphgen and the eval harness, so a name means the same
+// dataset everywhere.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]entry
+}
+
+// NewRegistry returns a registry pre-populated with the synthetic
+// presets of gen.AllNames.
+func NewRegistry() *Registry {
+	r := &Registry{entries: map[string]entry{}}
+	for _, name := range gen.AllNames() {
+		name := name
+		r.entries[name] = entry{build: func(s gen.Scale, rng *xrand.RNG) (*Source, error) {
+			return buildPreset(name, s, rng)
+		}}
+	}
+	return r
+}
+
+// Default is the process-wide registry shared by the CLIs and eval.
+var Default = NewRegistry()
+
+func buildPreset(name string, s gen.Scale, rng *xrand.RNG) (*Source, error) {
+	ds, err := gen.ByName(name, s, rng)
+	if err != nil {
+		return nil, err
+	}
+	src := &Source{Dataset: ds}
+	switch ds.ProbModel {
+	case gen.ProbTIC:
+		src.Model = topic.NewTICRandom(ds.Graph, topic.DefaultTICParams(), rng.Split())
+	case gen.ProbWC:
+		src.Model = topic.NewWeightedCascade(ds.Graph)
+	default:
+		return nil, fmt.Errorf("dataset: preset %q has unknown probability model %v", name, ds.ProbModel)
+	}
+	return src, nil
+}
+
+// Register adds a synthetic entry. Registering an existing name is an
+// error — the synthetic presets cannot be shadowed.
+func (r *Registry) Register(name string, build BuildFunc) error {
+	if name == "" || build == nil {
+		return fmt.Errorf("dataset: Register needs a name and a build function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("dataset: %q already registered", name)
+	}
+	r.entries[name] = entry{build: build}
+	return nil
+}
+
+// RegisterFile adds a file-backed entry resolving to a snapshot or text
+// edge list at path. The file is opened lazily, on Open.
+func (r *Registry) RegisterFile(name, path string) error {
+	if name == "" || path == "" {
+		return fmt.Errorf("dataset: RegisterFile needs a name and a path")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("dataset: %q already registered", name)
+	}
+	r.entries[name] = entry{path: path}
+	return nil
+}
+
+// Has reports whether name resolves in this registry.
+func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
+// Names lists the registered dataset names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open resolves name into a Source. Synthetic entries are generated at
+// the given scale drawing from rng; file-backed entries are loaded from
+// disk (scale and rng are ignored — a snapshot is one frozen scale).
+func (r *Registry) Open(name string, scale gen.Scale, rng *xrand.RNG) (*Source, error) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dataset: unknown dataset %q (registered: %v)", name, r.Names())
+	}
+	if e.build != nil {
+		return e.build(scale, rng)
+	}
+	return OpenFile(e.path)
+}
+
+// OpenFile loads a Source from a file, sniffing the format: binary
+// snapshots by magic, anything else parsed as a text edge list (plain
+// or gzip) with weighted-cascade probabilities attached.
+func OpenFile(path string) (*Source, error) {
+	snap, err := IsSnapshot(path)
+	if err != nil {
+		return nil, err
+	}
+	if snap {
+		s, err := Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return SourceOf(s), nil
+	}
+	g, err := LoadEdgeList(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		Dataset: gen.Dataset{
+			Name:      path,
+			Graph:     g,
+			Directed:  true,
+			ProbModel: gen.ProbWC,
+		},
+		Model:        topic.NewWeightedCascade(g),
+		FromSnapshot: true,
+	}, nil
+}
+
+// SourceOf adapts a decoded snapshot into a registry Source.
+func SourceOf(s *Snapshot) *Source {
+	return &Source{
+		Dataset: gen.Dataset{
+			Name:       s.Name,
+			Graph:      s.Graph,
+			Directed:   s.Directed,
+			ProbModel:  s.ProbModel,
+			PaperNodes: s.PaperNodes,
+			PaperEdges: s.PaperEdges,
+		},
+		Model:        s.Model,
+		Ads:          s.Ads,
+		FromSnapshot: true,
+	}
+}
+
+// SnapshotOf freezes a Source (with an optional ad roster) into a
+// writable Snapshot.
+func SnapshotOf(src *Source, ads []topic.Ad) *Snapshot {
+	return &Snapshot{
+		Name:       src.Dataset.Name,
+		Directed:   src.Dataset.Directed,
+		ProbModel:  src.Dataset.ProbModel,
+		PaperNodes: src.Dataset.PaperNodes,
+		PaperEdges: src.Dataset.PaperEdges,
+		Graph:      src.Dataset.Graph,
+		Model:      src.Model,
+		Ads:        ads,
+	}
+}

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+func TestRegistryPresets(t *testing.T) {
+	r := NewRegistry()
+	want := append([]string(nil), gen.AllNames()...)
+	for _, name := range want {
+		if !r.Has(name) {
+			t.Errorf("registry missing preset %q", name)
+		}
+	}
+	if len(r.Names()) != len(want) {
+		t.Errorf("Names() = %v, want the %d presets", r.Names(), len(want))
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Open("nope", gen.ScaleTiny, xrand.New(1)); err == nil {
+		t.Fatal("Open accepted an unknown dataset name")
+	}
+}
+
+// TestRegistryOpenMatchesHistoricalDraws pins the registry's synthetic
+// build path to the historical harness sequence: graph drawn from the
+// caller's rng, then one Split for the TIC model (WC consumes nothing),
+// so registry-resolved workbenches stay bit-identical to pre-registry
+// runs.
+func TestRegistryOpenMatchesHistoricalDraws(t *testing.T) {
+	for _, name := range []string{"flixster", "epinions"} {
+		rng := xrand.New(42)
+		src, err := NewRegistry().Open(name, gen.ScaleTiny, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ref := xrand.New(42)
+		ds, err := gen.ByName(name, gen.ScaleTiny, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var model *topic.Model
+		switch ds.ProbModel {
+		case gen.ProbTIC:
+			model = topic.NewTICRandom(ds.Graph, topic.DefaultTICParams(), ref.Split())
+		case gen.ProbWC:
+			model = topic.NewWeightedCascade(ds.Graph)
+		}
+
+		ao, at := src.Dataset.Graph.CSR()
+		bo, bt := ds.Graph.CSR()
+		if !reflect.DeepEqual(ao, bo) || !reflect.DeepEqual(at, bt) {
+			t.Fatalf("%s: registry graph differs from historical draw", name)
+		}
+		for z := 0; z < model.NumTopics(); z++ {
+			if !reflect.DeepEqual(src.Model.TopicProbs(z), model.TopicProbs(z)) {
+				t.Fatalf("%s: registry model differs at topic %d", name, z)
+			}
+		}
+		// Both paths must leave the rng in the same state for the
+		// downstream ad/budget draws.
+		if rng.Uint64() != ref.Uint64() {
+			t.Fatalf("%s: rng state diverged after Open", name)
+		}
+	}
+}
+
+func TestRegistryFileEntries(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRegistry()
+
+	// Snapshot-backed entry round-trips the full source.
+	snap := testSnapshot(t, 7)
+	snapPath := filepath.Join(dir, "unit.snap")
+	if err := Save(snapPath, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterFile("mysnap", snapPath); err != nil {
+		t.Fatal(err)
+	}
+	src, err := r.Open("mysnap", gen.ScaleTiny, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !src.FromSnapshot || src.Dataset.Name != "unit" || len(src.Ads) != 4 {
+		t.Fatalf("snapshot source = %+v", src)
+	}
+	requireSameSnapshot(t, snap, SnapshotOf(src, src.Ads))
+
+	// Edge-list entry gets weighted-cascade probabilities attached.
+	g := gen.ErdosRenyi(50, 300, xrand.New(2))
+	elPath := filepath.Join(dir, "g.txt.gz")
+	if err := SaveEdgeList(elPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RegisterFile("myedges", elPath); err != nil {
+		t.Fatal(err)
+	}
+	src2, err := r.Open("myedges", gen.ScaleTiny, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2.Model.NumTopics() != 1 || src2.Dataset.ProbModel != gen.ProbWC {
+		t.Fatalf("edge-list source model = %+v", src2.Dataset)
+	}
+	ref := topic.NewWeightedCascade(src2.Dataset.Graph)
+	if !reflect.DeepEqual(src2.Model.TopicProbs(0), ref.TopicProbs(0)) {
+		t.Fatal("edge-list source does not carry WC probabilities")
+	}
+
+	// Duplicate names are rejected, presets cannot be shadowed.
+	if err := r.RegisterFile("mysnap", snapPath); err == nil {
+		t.Fatal("duplicate RegisterFile accepted")
+	}
+	if err := r.RegisterFile("flixster", snapPath); err == nil {
+		t.Fatal("RegisterFile shadowed a preset")
+	}
+}

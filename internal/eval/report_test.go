@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/incentive"
+)
+
+// buildReport assembles a report exactly the way `rmbench -json` does:
+// a tables-only experiment (table1) plus a per-run experiment from a
+// real solve, so the test exercises the same conversion path as the CI
+// artifact.
+func buildReport(t *testing.T) *BenchReport {
+	t.Helper()
+	params := Params{Scale: gen.ScaleTiny, Seed: 1, H: 2,
+		Epsilon: 0.3, SingletonRuns: 20, MCEvalRuns: 50}
+	rep := NewBenchReport(params, "0123abcd", "2026-07-29T00:00:00Z")
+
+	tbl, err := DatasetStats(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.AddExperiment("table1", 123*time.Millisecond, []*Table{tbl}, nil)
+
+	w, err := NewWorkbench("epinions", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := w.Problem(incentive.Linear, 0.2)
+	res, err := RunAlgorithm(context.Background(), w.Engine(), p, AlgTICSRM, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Dataset, res.Kind, res.Alpha, res.H = "epinions", incentive.Linear, 0.2, params.H
+	rep.AddExperiment("quality", time.Second, nil, []BenchRun{BenchRunOf(res)})
+	return rep
+}
+
+// TestBenchReportSchema validates the rmbench -json output path against
+// the documented schema: Validate accepts it, the required fields are
+// present in the serialized form, and the JSON round-trips losslessly.
+func TestBenchReportSchema(t *testing.T) {
+	rep := buildReport(t)
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for _, field := range []string{
+		`"schema_version": 1`, `"git_sha"`, `"git_date"`, `"go_version"`,
+		`"scale": "tiny"`, `"seed"`, `"workers"`, `"experiments"`,
+		`"wall_seconds"`, `"rr_sets"`, `"rr_memory_bytes"`,
+		`"sampler_memory_bytes"`, `"revenue"`, `"seed_cost"`,
+	} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("serialized report is missing %s", field)
+		}
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped report fails Validate: %v", err)
+	}
+	if !reflect.DeepEqual(rep, &back) {
+		t.Fatal("report does not round-trip through JSON")
+	}
+}
+
+func TestBenchReportValidateRejects(t *testing.T) {
+	// Build the (expensive) base report once; each case mutates a cheap
+	// JSON-deep-copied clone.
+	base := buildReport(t)
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *BenchReport {
+		var r BenchReport
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		return &r
+	}
+
+	cases := map[string]func(*BenchReport){
+		"wrong-version":     func(r *BenchReport) { r.SchemaVersion = 99 },
+		"missing-go":        func(r *BenchReport) { r.GoVersion = "" },
+		"bad-scale":         func(r *BenchReport) { r.Scale = "gigantic" },
+		"zero-workers":      func(r *BenchReport) { r.Workers = 0 },
+		"no-experiments":    func(r *BenchReport) { r.Experiments = nil },
+		"empty-id":          func(r *BenchReport) { r.Experiments[0].ID = "" },
+		"duplicate-id":      func(r *BenchReport) { r.Experiments[1].ID = r.Experiments[0].ID },
+		"negative-wall":     func(r *BenchReport) { r.Experiments[0].WallSeconds = -1 },
+		"ragged-table":      func(r *BenchReport) { r.Experiments[0].Tables[0].Rows[0] = []string{"short"} },
+		"headerless-table":  func(r *BenchReport) { r.Experiments[0].Tables[0].Header = nil },
+		"run-no-dataset":    func(r *BenchReport) { r.Experiments[1].Runs[0].Dataset = "" },
+		"run-no-algorithm":  func(r *BenchReport) { r.Experiments[1].Runs[0].Algorithm = "" },
+		"run-zero-h":        func(r *BenchReport) { r.Experiments[1].Runs[0].H = 0 },
+		"run-negative-rr":   func(r *BenchReport) { r.Experiments[1].Runs[0].RRSets = -1 },
+		"run-zero-sworkers": func(r *BenchReport) { r.Experiments[1].Runs[0].SampleWorkers = 0 },
+	}
+	for name, mutate := range cases {
+		r := fresh()
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed report", name)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteCSVZeroRows: an experiment that yields no rows must still
+// emit its header line, so downstream CSV tooling sees the columns
+// (regression: sweeps over empty grids produced headerless files).
+func TestWriteCSVZeroRows(t *testing.T) {
+	tbl := &Table{Title: "empty sweep", Header: []string{"dataset", "alpha", "revenue"}}
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), "dataset,alpha,revenue\n"; got != want {
+		t.Fatalf("zero-row CSV = %q, want %q", got, want)
+	}
+}
+
+func TestWriteCSVRows(t *testing.T) {
+	tbl := &Table{Header: []string{"a", "b"}}
+	tbl.Append("x", 1.5)
+	tbl.Append("y", 2)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\nx,1.5\ny,2\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}

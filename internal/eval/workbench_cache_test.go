@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gen"
+	"repro/internal/incentive"
+	"repro/internal/topic"
+	"repro/internal/xrand"
+)
+
+// TestWorkbenchCacheReuse: a sweep's repeated NewWorkbench calls with
+// the same construction parameters share one workbench (graph, model,
+// singletons, warm Engine); changing any keyed parameter rebuilds.
+func TestWorkbenchCacheReuse(t *testing.T) {
+	ResetWorkbenchCache()
+	defer ResetWorkbenchCache()
+	p := Params{Scale: gen.ScaleTiny, Seed: 11, H: 2, SingletonRuns: 20}
+	a, err := NewWorkbench("epinions", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkbench("epinions", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical params did not reuse the cached workbench")
+	}
+	// Non-keyed knobs (Epsilon, Window, MCEvalRuns) do not fragment the
+	// cache — they only matter at solve time.
+	p2 := p
+	p2.Epsilon = 0.5
+	p2.Window = 100
+	c, err := NewWorkbench("epinions", p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatal("solve-time params fragmented the workbench cache")
+	}
+	p3 := p
+	p3.Seed = 12
+	d, err := NewWorkbench("epinions", p3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == a {
+		t.Fatal("different seed returned the same workbench")
+	}
+	ResetWorkbenchCache()
+	e, err := NewWorkbench("epinions", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == a {
+		t.Fatal("ResetWorkbenchCache did not drop the cached workbench")
+	}
+	// The rebuilt workbench must be bit-identical to the first build.
+	if !reflect.DeepEqual(a.Ads, e.Ads) || !reflect.DeepEqual(a.Singletons, e.Singletons) {
+		t.Fatal("rebuild after reset is not bit-identical")
+	}
+}
+
+// TestWorkbenchFromSnapshot: a snapshot registered as a file-backed
+// dataset drives the full harness path — NewWorkbench resolves it, the
+// frozen ad roster is reused, and an end-to-end solve works.
+func TestWorkbenchFromSnapshot(t *testing.T) {
+	ResetWorkbenchCache()
+	defer ResetWorkbenchCache()
+	rng := xrand.New(5)
+	g := gen.RMAT(200, 1500, gen.DefaultRMAT, rng)
+	params := topic.DefaultTICParams()
+	params.L = 2
+	model := topic.NewTICRandom(g, params, rng.Split())
+	ads := topic.CompetingAds(4, 2, rng.Split())
+	topic.UniformBudgets(ads, 80, 1)
+	snap := &dataset.Snapshot{
+		Name: "wbtest", Directed: true, ProbModel: gen.ProbTIC,
+		Graph: g, Model: model, Ads: ads,
+	}
+	path := filepath.Join(t.TempDir(), "wb.snap")
+	if err := dataset.Save(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.Default.RegisterFile("wbtest-snapshot", path); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := NewWorkbench("wbtest-snapshot", Params{Scale: gen.ScaleTiny, Seed: 5, H: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Ads) != 3 {
+		t.Fatalf("got %d ads, want 3", len(w.Ads))
+	}
+	for i := range w.Ads {
+		if !reflect.DeepEqual(w.Ads[i], ads[i]) {
+			t.Fatalf("ad %d differs from the frozen roster", i)
+		}
+	}
+	p := w.Problem(incentive.Linear, 0.2)
+	res, err := RunAlgorithm(context.Background(), w.Engine(), p, AlgTICSRM,
+		Params{Scale: gen.ScaleTiny, Seed: 5, H: 3, Epsilon: 0.3, MCEvalRuns: 50}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RRSets <= 0 {
+		t.Fatalf("solve on snapshot workbench sampled %d RR sets", res.RRSets)
+	}
+}

@@ -1,0 +1,150 @@
+package graph
+
+import "fmt"
+
+// CSR exposes the graph's canonical out-adjacency arrays: offsets
+// (length n+1) and targets (length NumEdges), the exact representation
+// the binary snapshot format persists. Both slices alias internal
+// storage and must be treated as read-only.
+func (g *Graph) CSR() (outOff []int64, outTargets []int32) {
+	return g.outOff, g.outTargets
+}
+
+// InCSR exposes the in-adjacency mirror: offsets (length n+1), sources
+// and canonical edge IDs (length NumEdges each). The mirror is a pure
+// function of the out-CSR arrays; snapshots persist it anyway so that
+// loading skips the random-write transpose, which dominates load time
+// on multi-million-edge graphs. All slices alias internal storage and
+// must be treated as read-only.
+func (g *Graph) InCSR() (inOff []int64, inSources, inEdgeIDs []int32) {
+	return g.inOff, g.inSources, g.inEdgeIDs
+}
+
+// FromCSR reconstructs a Graph directly from canonical out-CSR arrays,
+// bypassing the Builder. The arrays must satisfy the Builder's invariants
+// — offsets monotone with outOff[0]=0, each adjacency row strictly
+// increasing (sorted, deduplicated), no self-loops, targets in [0, n) —
+// which FromCSR validates in one O(n+m) pass. The in-adjacency mirror is
+// rebuilt deterministically, so a graph rebuilt from its own CSR() arrays
+// is bit-identical to the original. The slices are not copied.
+func FromCSR(n int32, outOff []int64, outTargets []int32) (*Graph, error) {
+	g, err := validateOutCSR(n, outOff, outTargets)
+	if err != nil {
+		return nil, err
+	}
+	g.buildInAdjacency()
+	return g, nil
+}
+
+// validateOutCSR checks the Builder invariants on raw out-CSR arrays
+// and wraps them in a Graph with no in-adjacency mirror yet.
+func validateOutCSR(n int32, outOff []int64, outTargets []int32) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: FromCSR negative node count %d", n)
+	}
+	if int64(len(outOff)) != int64(n)+1 {
+		return nil, fmt.Errorf("graph: FromCSR has %d offsets for %d nodes (want n+1)", len(outOff), n)
+	}
+	if outOff[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR offsets start at %d, want 0", outOff[0])
+	}
+	if outOff[n] != int64(len(outTargets)) {
+		return nil, fmt.Errorf("graph: FromCSR offsets end at %d, have %d targets", outOff[n], len(outTargets))
+	}
+	for u := int32(0); u < n; u++ {
+		lo, hi := outOff[u], outOff[u+1]
+		if hi < lo || hi > int64(len(outTargets)) {
+			return nil, fmt.Errorf("graph: FromCSR offsets decrease at node %d", u)
+		}
+		// Strictly increasing row with targets in [0, n) and no self-loop;
+		// v <= prev subsumes the v < 0 check (prev starts at -1), and
+		// iterating the subslice keeps the hot loop bounds-check-free.
+		prev := int32(-1)
+		for _, v := range outTargets[lo:hi] {
+			if v <= prev || v >= n || v == u {
+				return nil, fmt.Errorf("graph: FromCSR row %d invalid: target %d after %d (n=%d)", u, v, prev, n)
+			}
+			prev = v
+		}
+	}
+	return &Graph{n: n, outOff: outOff, outTargets: outTargets}, nil
+}
+
+// FromCSRArrays reconstructs a Graph from both adjacency mirrors, as
+// persisted by the snapshot format. The out-CSR arrays are validated
+// exactly as in FromCSR; the in-arrays are checked shape- and
+// bounds-wise (monotone offsets ending at m, sources in [0, n), edge
+// IDs in [0, m)) in one sequential pass rather than cross-verified
+// against the out-CSR element by element — re-deriving them would cost
+// the very transpose this constructor exists to skip, so full
+// structural consistency is the writer's contract (snapshot integrity
+// is separately guarded by its checksum). Use FromCSR to rebuild the
+// mirror from scratch instead. The slices are not copied.
+func FromCSRArrays(n int32, outOff []int64, outTargets []int32, inOff []int64, inSources, inEdgeIDs []int32) (*Graph, error) {
+	g, err := validateOutCSR(n, outOff, outTargets)
+	if err != nil {
+		return nil, err
+	}
+	m := int64(len(outTargets))
+	if int64(len(inOff)) != int64(n)+1 || inOff[0] != 0 || inOff[n] != m {
+		return nil, fmt.Errorf("graph: FromCSRArrays in-offsets malformed (len %d, end %d, want n+1=%d ending at %d)",
+			len(inOff), inOff[len(inOff)-1], int64(n)+1, m)
+	}
+	if int64(len(inSources)) != m || int64(len(inEdgeIDs)) != m {
+		return nil, fmt.Errorf("graph: FromCSRArrays has %d sources / %d edge IDs for %d arcs",
+			len(inSources), len(inEdgeIDs), m)
+	}
+	for v := int32(0); v < n; v++ {
+		if inOff[v+1] < inOff[v] {
+			return nil, fmt.Errorf("graph: FromCSRArrays in-offsets decrease at node %d", v)
+		}
+	}
+	for i := range inSources {
+		if s := inSources[i]; s < 0 || s >= n {
+			return nil, fmt.Errorf("graph: FromCSRArrays source %d out of range [0,%d)", s, n)
+		}
+		if e := inEdgeIDs[i]; e < 0 || int64(e) >= m {
+			return nil, fmt.Errorf("graph: FromCSRArrays edge ID %d out of range [0,%d)", e, m)
+		}
+	}
+	g.inOff = inOff
+	g.inSources = inSources
+	g.inEdgeIDs = inEdgeIDs
+	return g, nil
+}
+
+// buildInAdjacency derives the in-adjacency mirror (inOff, inSources,
+// inEdgeIDs) from the out-CSR arrays. Shared by Builder.Build and
+// FromCSR so both construction paths produce bit-identical graphs. The
+// loops are deliberately closure-free: this is the dominant cost of
+// loading a binary snapshot, where no parse or sort amortizes it.
+func (g *Graph) buildInAdjacency() {
+	n, w := g.n, int64(len(g.outTargets))
+	inCount := make([]int64, n+1)
+	for _, v := range g.outTargets {
+		inCount[v+1]++
+	}
+	for i := int32(0); i < n; i++ {
+		inCount[i+1] += inCount[i]
+	}
+	g.inOff = inCount
+	g.inSources = make([]int32, w)
+	g.inEdgeIDs = make([]int32, w)
+	// Edge IDs fit int32 (inEdgeIDs is []int32 by construction), so the
+	// scatter cursors can be int32 too — half the cursor footprint keeps
+	// the random-access transpose loop cache-resident on large graphs.
+	inCursor := make([]int32, n)
+	for i := int32(0); i < n; i++ {
+		inCursor[i] = int32(inCount[i])
+	}
+	for u := int32(0); u < n; u++ {
+		lo, hi := g.outOff[u], g.outOff[u+1]
+		for e := lo; e < hi; e++ {
+			v := g.outTargets[e]
+			p := inCursor[v]
+			g.inSources[p] = u
+			g.inEdgeIDs[p] = int32(e)
+			inCursor[v] = p + 1
+		}
+	}
+}

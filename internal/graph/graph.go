@@ -232,25 +232,7 @@ func (b *Builder) Build() *Graph {
 	g.outTargets = targets[:w:w]
 
 	// Build in-adjacency from the deduplicated arcs.
-	inCount := make([]int64, n+1)
-	for _, v := range g.outTargets {
-		inCount[v+1]++
-	}
-	for i := int32(0); i < n; i++ {
-		inCount[i+1] += inCount[i]
-	}
-	g.inOff = inCount
-	g.inSources = make([]int32, w)
-	g.inEdgeIDs = make([]int32, w)
-	inCursor := make([]int64, n)
-	copy(inCursor, g.inOff[:n])
-	g.Edges(func(u, v int32, e int64) bool {
-		p := inCursor[v]
-		g.inSources[p] = u
-		g.inEdgeIDs[p] = int32(e)
-		inCursor[v] = p + 1
-		return true
-	})
+	g.buildInAdjacency()
 	return g
 }
 

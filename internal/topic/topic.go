@@ -91,6 +91,12 @@ func (m *Model) Prob(z int, edgeID int64) float64 {
 	return float64(m.probs[z][edgeID])
 }
 
+// TopicProbs returns the raw per-edge probability slice of topic z,
+// aligned with the graph's canonical edge IDs — the array the binary
+// snapshot format persists. The slice aliases internal storage and must
+// be treated as read-only.
+func (m *Model) TopicProbs(z int) []float32 { return m.probs[z] }
+
 // EdgeProbs materializes the ad-specific arc probabilities p^i (Eq. 1) for
 // an ad with topic distribution gamma. For L=1 the returned slice aliases
 // the model's storage and must be treated as read-only; for L>1 a fresh

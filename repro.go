@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/eval"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -255,3 +256,54 @@ func SaveAllocation(path string, a *Allocation) error { return core.SaveAllocati
 
 // LoadAllocation reads an allocation from a JSON file.
 func LoadAllocation(path string) (*Allocation, error) { return core.LoadAllocation(path) }
+
+// Dataset layer: the versioned binary snapshot format and the named
+// dataset registry shared by the CLIs and the experiment harness.
+type (
+	// Snapshot bundles a graph, its propagation model, metadata and an
+	// optional frozen ad roster for binary persistence.
+	Snapshot = dataset.Snapshot
+	// DatasetSource is a resolved dataset (graph + model), ready for an
+	// Engine.
+	DatasetSource = dataset.Source
+	// DatasetRegistry maps dataset names to synthetic presets and
+	// file-backed snapshot/edge-list entries.
+	DatasetRegistry = dataset.Registry
+)
+
+// ErrBadSnapshot is wrapped by every snapshot decoding failure (wrong
+// magic, truncation, checksum mismatch); dispatch with errors.Is.
+var ErrBadSnapshot = dataset.ErrBadSnapshot
+
+// Datasets is the process-wide dataset registry: the four synthetic
+// presets plus whatever file-backed entries the process registers.
+// NewWorkbench resolves its dataset name here.
+var Datasets = dataset.Default
+
+// SaveSnapshot writes a dataset snapshot to the named file; loading it
+// back yields bit-identical structures (and therefore bit-identical
+// solves) without regenerating or re-parsing anything.
+func SaveSnapshot(path string, s *Snapshot) error { return dataset.Save(path, s) }
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot (gzip detected
+// transparently). Malformed input errors wrap ErrBadSnapshot.
+func LoadSnapshot(path string) (*Snapshot, error) { return dataset.Load(path) }
+
+// LoadGraphFile streams a text edge-list file (plain or gzip) into a
+// Graph.
+func LoadGraphFile(path string) (*Graph, error) { return dataset.LoadEdgeList(path) }
+
+// SaveGraphFile writes a Graph as a text edge list; a ".gz" suffix
+// selects gzip compression.
+func SaveGraphFile(path string, g *Graph) error { return dataset.SaveEdgeList(path, g) }
+
+// BenchReport types: the machine-readable `rmbench -json` schema
+// (docs/bench-schema.md) that CI archives per commit.
+type (
+	// BenchReport is one benchmark run: provenance plus experiments.
+	BenchReport = eval.BenchReport
+	// BenchExperiment is one experiment's wall time, tables and runs.
+	BenchExperiment = eval.BenchExperiment
+	// BenchRun is one (algorithm, problem) measurement.
+	BenchRun = eval.BenchRun
+)
