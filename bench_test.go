@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/incentive"
 	"repro/internal/rrset"
 	"repro/internal/topic"
@@ -262,6 +263,164 @@ func BenchmarkParallelCoverageFill(b *testing.B) {
 			}
 		})
 	}
+}
+
+// linearMaxCov re-runs the pre-refactor O(n) selection scan over the
+// public CovCount API — the comparison reference for BenchmarkMaxCovSelect.
+func linearMaxCov(c *rrset.Collection, n int32) (int32, int32) {
+	best, bestCnt := int32(-1), int32(0)
+	for v := int32(0); v < n; v++ {
+		if c.CovCount(v) > bestCnt {
+			bestCnt = c.CovCount(v)
+			best = v
+		} else if best < 0 {
+			best = v
+		}
+	}
+	return best, bestCnt
+}
+
+// BenchmarkMaxCovSelect pins the tentpole speedup of the indexed
+// bucket-queue selector on a selection-dominated workload (n = 100k
+// nodes, θ = 200k RR sets): the query/* pair measures one MaxCovCount
+// answer — the operation TIM-style greedy loops issue once per pick and
+// the engine issues per growth event (engine.go's eligibility-filtered
+// max) — indexed versus the pre-refactor O(n) scan; the greedy/* pair
+// runs k full picks including the (shared) CoverBy coverage updates.
+// Both arms are pinned to identical answers by the equivalence suite in
+// internal/rrset/select_equiv_test.go; ResetCoverage between iterations
+// is benchmark bookkeeping and runs off the clock.
+func BenchmarkMaxCovSelect(b *testing.B) {
+	rng := xrand.New(11)
+	g := gen.RMAT(100_000, 500_000, gen.DefaultRMAT, rng)
+	model := topic.NewWeightedCascade(g)
+	probs := model.EdgeProbs(topic.Distribution{1})
+	pool := rrset.NewPool(g, rrset.PoolOptions{Workers: 1})
+	c := rrset.NewCollection(g.NumNodes())
+	c.AddFromParallel(pool.NewStream(probs, 5), 200_000)
+	c.CoverBy(0) // a realistic mid-selection state: some coverage spent
+	var sinkNode, sinkCnt int32
+	b.Run("query/indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkNode, sinkCnt = c.MaxCovCount(nil)
+		}
+	})
+	b.Run("query/linear-reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sinkNode, sinkCnt = linearMaxCov(c, g.NumNodes())
+		}
+	})
+	_, _ = sinkNode, sinkCnt
+	c.ResetCoverage()
+	const k = 64
+	b.Run("greedy/indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				v, cnt := c.MaxCovCount(nil)
+				if v < 0 || cnt == 0 {
+					break
+				}
+				c.CoverBy(v)
+			}
+			b.StopTimer()
+			c.ResetCoverage()
+			b.StartTimer()
+		}
+	})
+	b.Run("greedy/linear-reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < k; j++ {
+				best, bestCnt := linearMaxCov(c, g.NumNodes())
+				if best < 0 || bestCnt == 0 {
+					break
+				}
+				c.CoverBy(best)
+			}
+			b.StopTimer()
+			c.ResetCoverage()
+			b.StartTimer()
+		}
+	})
+}
+
+// BenchmarkArenaSampling pins the tentpole's memory win: filling a
+// coverage store with θ RR sets through the arena-backed Collection
+// versus the pre-refactor layout (one heap slice per set plus per-node
+// growable index slices). Each arm reports its store's heap footprint as
+// MB-footprint — the quantity Stats.RRMemoryBytes and Table 3 aggregate —
+// alongside allocs/op; the legacy arm's footprint counts its slice
+// headers, which are real heap bytes the flat layout does not spend. The
+// workload is the standard IC benchmark — a uniform random digraph with
+// p = 0.1 arcs (subcritical, so RR sets stay small, the regime where a
+// per-set-allocation layout pays the largest fixed overhead per set).
+func BenchmarkArenaSampling(b *testing.B) {
+	rng := xrand.New(12)
+	const nNodes, nEdges = 100_000, 600_000
+	gb := graph.NewBuilder(nNodes, nEdges)
+	for i := 0; i < nEdges; i++ {
+		u, v := rng.Int31n(nNodes), rng.Int31n(nNodes)
+		for u == v {
+			v = rng.Int31n(nNodes)
+		}
+		gb.AddEdge(u, v)
+	}
+	g := gb.Build()
+	probs := make([]float32, g.NumEdges())
+	for i := range probs {
+		probs[i] = 0.1
+	}
+	const theta = 200_000
+	b.Run("arena", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := rrset.NewPool(g, rrset.PoolOptions{Workers: 1})
+		var foot int64
+		for i := 0; i < b.N; i++ {
+			c := rrset.NewCollection(g.NumNodes())
+			c.AddFromParallel(pool.NewStream(probs, 7), theta)
+			foot = c.MemoryFootprint()
+		}
+		b.ReportMetric(float64(foot)/(1<<20), "MB-footprint")
+	})
+	b.Run("legacy-layout", func(b *testing.B) {
+		b.ReportAllocs()
+		var foot int64
+		for i := 0; i < b.N; i++ {
+			foot = legacyLayoutFill(g, probs, theta)
+		}
+		b.ReportMetric(float64(foot)/(1<<20), "MB-footprint")
+	})
+}
+
+// legacyLayoutFill reproduces the pre-arena storage layout and returns
+// its heap footprint: per-set slices, per-node index slices, the []bool
+// tombstones and the covCount array, including the 24-byte slice headers
+// the two [][]int32 tables spend per entry.
+func legacyLayoutFill(g *graph.Graph, probs []float32, theta int) int64 {
+	s := rrset.NewSampler(g, probs, xrand.New(7))
+	sets := make([][]int32, 0, theta)
+	nodeSets := make([][]int32, g.NumNodes())
+	covCount := make([]int32, g.NumNodes())
+	for i := 0; i < theta; i++ {
+		set, _ := s.Sample()
+		id := int32(len(sets))
+		sets = append(sets, set)
+		for _, v := range set {
+			nodeSets[v] = append(nodeSets[v], id)
+			covCount[v]++
+		}
+	}
+	covered := make([]bool, len(sets))
+	total := int64(cap(sets)) * 24
+	for _, set := range sets {
+		total += int64(cap(set)) * 4
+	}
+	total += int64(cap(nodeSets)) * 24
+	for _, ns := range nodeSets {
+		total += int64(cap(ns)) * 4
+	}
+	total += int64(len(covered))
+	total += int64(len(covCount)) * 4
+	return total
 }
 
 func BenchmarkCascadeSimulation(b *testing.B) {

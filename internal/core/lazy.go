@@ -1,32 +1,17 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
 
-// lazyPair is a (node, advertiser) pair with a lazily maintained selection
-// key in the CELF priority queue of the reference greedy algorithms.
-type lazyPair struct {
-	ad    int
-	node  int32
-	key   float64
-	epoch int // advertiser epoch at which key was computed
-}
-
-type lazyPairHeap []lazyPair
-
-func (h lazyPairHeap) Len() int            { return len(h) }
-func (h lazyPairHeap) Less(i, j int) bool  { return h[i].key > h[j].key }
-func (h lazyPairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lazyPairHeap) Push(x interface{}) { *h = append(*h, x.(lazyPair)) }
-func (h *lazyPairHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
+// The CELF queue of the reference greedy algorithms holds one entry per
+// (node, advertiser) pair. It reuses the engine's typed candHeap — the
+// pair is packed into the candEntry's node field as ad·n + u, and the
+// advertiser epoch at which each pair's key was computed lives in a side
+// array indexed the same way. The previous implementation boxed a
+// four-field struct through container/heap's interface{} Push/Pop on
+// every operation; the typed heap moves plain 16-byte values instead.
 
 // CAGreedyLazy is CAGreedy with CELF lazy evaluation: identical output,
 // far fewer oracle calls. Valid because the selection key (marginal
@@ -48,10 +33,20 @@ func lazyGreedy(p *Problem, oracle SpreadOracle, costSensitive bool) (*Allocatio
 	}
 	h := p.NumAds()
 	n := p.Graph.NumNodes()
+	if int64(h)*int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("core: lazy greedy ground set %d×%d pairs overflows its index; "+
+			"use the scalable TI algorithms for instances this large", h, n)
+	}
 	alloc := NewAllocation(h)
 	assigned := make([]bool, n)
 	sigma := make([]float64, h)
-	epoch := make([]int, h)
+	epoch := make([]int32, h)
+	// keyEpoch[pair] is the advertiser epoch at which that pair's heap key
+	// was last computed; a pair is fresh iff it matches epoch[ad].
+	keyEpoch := make([]int32, int(h)*int(n))
+	split := func(pair int32) (ad int, u int32) {
+		return int(pair) / int(n), int32(int(pair) % int(n))
+	}
 
 	evaluate := func(ad int, u int32) (key, mpi, mrho, sigmaAfter float64) {
 		s := oracle.Spread(ad, append(alloc.Seeds[ad], u))
@@ -71,38 +66,40 @@ func lazyGreedy(p *Problem, oracle SpreadOracle, costSensitive bool) (*Allocatio
 		return key, mpi, mrho, s
 	}
 
-	pq := make(lazyPairHeap, 0, h*int(n))
+	entries := make([]candEntry, 0, int(h)*int(n))
 	for ad := 0; ad < h; ad++ {
 		for u := int32(0); u < n; u++ {
 			key, _, _, _ := evaluate(ad, u)
-			pq = append(pq, lazyPair{ad: ad, node: u, key: key, epoch: 0})
+			entries = append(entries, candEntry{node: int32(ad)*n + u, key: key})
 		}
 	}
-	heap.Init(&pq)
+	var pq candHeap
+	pq.Build(entries)
 
 	for pq.Len() > 0 {
-		top := heap.Pop(&pq).(lazyPair)
-		if top.epoch != epoch[top.ad] {
+		top := pq.Pop()
+		ad, u := split(top.node)
+		if keyEpoch[top.node] != epoch[ad] {
 			// Stale: refresh and reinsert.
-			key, _, _, _ := evaluate(top.ad, top.node)
+			key, _, _, _ := evaluate(ad, u)
 			top.key = key
-			top.epoch = epoch[top.ad]
-			heap.Push(&pq, top)
+			keyEpoch[top.node] = epoch[ad]
+			pq.Push(top)
 			continue
 		}
 		// Fresh top: the greedy choice. Recompute the full marginals for
 		// the feasibility test (key alone does not carry mrho).
-		_, mpi, mrho, sigmaAfter := evaluate(top.ad, top.node)
-		feasible := !assigned[top.node] &&
-			alloc.Payment[top.ad]+mrho <= p.Ads[top.ad].Budget
+		_, mpi, mrho, sigmaAfter := evaluate(ad, u)
+		feasible := !assigned[u] &&
+			alloc.Payment[ad]+mrho <= p.Ads[ad].Budget
 		if feasible {
-			alloc.Seeds[top.ad] = append(alloc.Seeds[top.ad], top.node)
-			assigned[top.node] = true
-			sigma[top.ad] = sigmaAfter
-			alloc.Revenue[top.ad] += mpi
-			alloc.SeedCost[top.ad] += p.Incentives[top.ad].Cost(top.node)
-			alloc.Payment[top.ad] = alloc.Revenue[top.ad] + alloc.SeedCost[top.ad]
-			epoch[top.ad]++
+			alloc.Seeds[ad] = append(alloc.Seeds[ad], u)
+			assigned[u] = true
+			sigma[ad] = sigmaAfter
+			alloc.Revenue[ad] += mpi
+			alloc.SeedCost[ad] += p.Incentives[ad].Cost(u)
+			alloc.Payment[ad] = alloc.Revenue[ad] + alloc.SeedCost[ad]
+			epoch[ad]++
 		}
 		// Either way the pair leaves the ground set (Alg. 1 lines 9/12).
 	}

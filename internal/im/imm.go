@@ -71,8 +71,8 @@ func IMM(ctx context.Context, g *graph.Graph, probs []float32, k int, opt TIMOpt
 				return Result{}, err
 			}
 		}
-		// Greedy max coverage on a throwaway replay of the collection.
-		frac := greedyCoverageFraction(coll, g.NumNodes(), k)
+		// Greedy max coverage in place; coverage state is reset afterwards.
+		frac := greedyCoverageFraction(coll, k)
 		cand := float64(n) * frac / (1 + epsPrime)
 		if float64(n)*frac >= (1+epsPrime)*x {
 			lb = cand
@@ -115,26 +115,26 @@ func IMM(ctx context.Context, g *graph.Graph, probs []float32, k int, opt TIMOpt
 	return Result{Seeds: seeds, SpreadEstimate: est, Theta: theta, Kpt: lb}, nil
 }
 
-// greedyCoverageFraction runs greedy max coverage over a snapshot of the
-// collection without mutating it, returning the covered fraction.
-func greedyCoverageFraction(c *rrset.Collection, n int32, k int) float64 {
+// greedyCoverageFraction runs greedy max coverage directly on the
+// collection and returns the covered fraction, restoring the pristine
+// (no-seeds) coverage state before returning. The pre-arena version
+// duplicated every stored set into a throwaway collection per probe —
+// O(θ · |R|) allocations each LB-search round; running in place with
+// ResetCoverage leaves only the selection work itself.
+func greedyCoverageFraction(c *rrset.Collection, k int) float64 {
 	if c.Size() == 0 {
 		return 0
 	}
-	// Rebuild a scratch collection from the live one (coverage state in c
-	// is untouched because IMM selects seeds only on the final sample).
-	scratch := rrset.NewCollection(n)
-	for id := int32(0); id < int32(c.Size()); id++ {
-		scratch.Add(append([]int32(nil), c.Set(id)...))
-	}
 	for i := 0; i < k; i++ {
-		v, cnt := scratch.MaxCovCount(nil)
+		v, cnt := c.MaxCovCount(nil)
 		if v < 0 || cnt == 0 {
 			break
 		}
-		scratch.CoverBy(v)
+		c.CoverBy(v)
 	}
-	return float64(scratch.NumCovered()) / float64(scratch.Size())
+	frac := float64(c.NumCovered()) / float64(c.Size())
+	c.ResetCoverage()
+	return frac
 }
 
 // BudgetedGreedy solves Budgeted Influence Maximization (Leskovec et al.
@@ -165,32 +165,37 @@ func BudgetedGreedy(ctx context.Context, g *graph.Graph, probs []float32, costs 
 		return Result{Theta: theta}, err
 	}
 
+	// Both rules run greedy selection in place on the shared sample and
+	// hand the pristine coverage state back through ResetCoverage — the
+	// pre-arena code duplicated the whole collection per rule. The
+	// cost-agnostic rule is a pure maximum-coverage query and goes through
+	// the indexed MaxCovCount (identical choices to the old linear scan,
+	// including the lowest-ID tie-break); the benefit/cost rule orders by
+	// a ratio the count-keyed bucket queue cannot index, so it keeps its
+	// linear scan over CovCount.
 	run := func(costSensitive bool) ([]int32, float64) {
-		c := rrset.NewCollection(g.NumNodes())
-		for id := int32(0); id < int32(base.Size()); id++ {
-			c.Add(append([]int32(nil), base.Set(id)...))
-		}
 		var seeds []int32
 		spent := 0.0
 		banned := make([]bool, g.NumNodes())
+		unbanned := func(v int32) bool { return !banned[v] }
 		for {
 			best := int32(-1)
-			bestKey := 0.0
-			for v := int32(0); v < g.NumNodes(); v++ {
-				if banned[v] || c.CovCount(v) == 0 {
-					continue
-				}
-				key := float64(c.CovCount(v))
-				if costSensitive {
+			if costSensitive {
+				bestKey := 0.0
+				for v := int32(0); v < g.NumNodes(); v++ {
+					if banned[v] || base.CovCount(v) == 0 {
+						continue
+					}
 					den := costs[v]
 					if den < 1e-12 {
 						den = 1e-12
 					}
-					key /= den
+					if key := float64(base.CovCount(v)) / den; key > bestKey {
+						best, bestKey = v, key
+					}
 				}
-				if key > bestKey {
-					best, bestKey = v, key
-				}
+			} else if v, cnt := base.MaxCovCount(unbanned); v >= 0 && cnt > 0 {
+				best = v
 			}
 			if best < 0 {
 				break
@@ -199,12 +204,14 @@ func BudgetedGreedy(ctx context.Context, g *graph.Graph, probs []float32, costs 
 				banned[best] = true // permanent removal, as in Alg. 1
 				continue
 			}
-			c.CoverBy(best)
+			base.CoverBy(best)
 			seeds = append(seeds, best)
 			spent += costs[best]
 			banned[best] = true
 		}
-		return seeds, float64(g.NumNodes()) * float64(c.NumCovered()) / float64(c.Size())
+		spread := float64(g.NumNodes()) * float64(base.NumCovered()) / float64(base.Size())
+		base.ResetCoverage()
+		return seeds, spread
 	}
 
 	caSeeds, caSpread := run(false)

@@ -174,7 +174,7 @@ func SingletonsRR(c *rrset.Collection, n int32) []float64 {
 	}
 	scale := float64(n) / float64(c.Size())
 	for u := int32(0); u < n; u++ {
-		out[u] = float64(len(c.SetsContaining(u))) * scale
+		out[u] = float64(c.NumSetsContaining(u)) * scale
 	}
 	return out
 }

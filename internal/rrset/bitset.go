@@ -1,0 +1,46 @@
+package rrset
+
+// bitset is a packed grow-only bit vector used for per-set coverage
+// tombstones: 1 bit per RR set instead of the 1 byte of a []bool, an 8×
+// cut of per-advertiser coverage state that Table 3's memory columns
+// report through MemoryFootprint.
+type bitset struct {
+	words []uint64
+	n     int
+}
+
+// appendZero extends the bitset by one cleared bit. Words are always
+// materialized through append(…, 0) — including after a capacity-keeping
+// reset — so a freshly entered word never carries stale bits.
+func (b *bitset) appendZero() {
+	if b.n>>6 == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	b.n++
+}
+
+// get reports bit i.
+func (b *bitset) get(i int32) bool {
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// set sets bit i.
+func (b *bitset) set(i int32) {
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// clear zeroes every bit, keeping the length.
+func (b *bitset) clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// reset empties the bitset, keeping capacity.
+func (b *bitset) reset() {
+	b.words = b.words[:0]
+	b.n = 0
+}
+
+// bytes reports the bitset's heap footprint.
+func (b *bitset) bytes() int64 { return int64(cap(b.words)) * 8 }

@@ -1,0 +1,138 @@
+package rrset
+
+// bucketQueue maintains every node's live marginal coverage count with
+// O(1) increment/decrement and an indexed maximum query, replacing the
+// O(n) full-node scan the selection loops used to run per greedy pick.
+//
+// Layout: an intrusive doubly-linked list per count value ("bucket").
+// Counts are bounded by the number of stored sets (θ), so the bucket
+// head table grows to at most the highest coverage count ever seen.
+// Every node is always linked into exactly one bucket; nodes start in
+// bucket 0.
+//
+// Determinism contract: maxEligible returns the lowest node ID among the
+// eligible nodes attaining the maximum count — bit-identical to the
+// retained linear-scan reference (see select_equiv_test.go), including
+// the count-0 fallback — so swapping the scan for the queue cannot
+// perturb any seed-pinned solver output.
+type bucketQueue struct {
+	count []int32 // node -> live marginal coverage
+	next  []int32 // intrusive bucket list links
+	prev  []int32 // prev link; -1 marks the bucket head
+	head  []int32 // count -> first node in bucket, -1 when empty
+	max   int32   // upper bound on the highest non-empty bucket
+}
+
+// init places all n nodes in bucket 0, reusing backing arrays when
+// their capacity suffices.
+func (q *bucketQueue) init(n int32) {
+	if cap(q.count) < int(n) {
+		q.count = make([]int32, n)
+		q.next = make([]int32, n)
+		q.prev = make([]int32, n)
+	}
+	q.count = q.count[:n]
+	q.next = q.next[:n]
+	q.prev = q.prev[:n]
+	if cap(q.head) < 1 {
+		q.head = make([]int32, 1, 64)
+	}
+	q.head = q.head[:1]
+	q.reset()
+}
+
+// reset relinks every node into bucket 0 (count 0), keeping capacity.
+func (q *bucketQueue) reset() {
+	q.head = q.head[:1]
+	q.head[0] = -1
+	q.max = 0
+	n := int32(len(q.count))
+	for v := n - 1; v >= 0; v-- { // push-front in reverse: bucket 0 ends up ascending
+		q.count[v] = 0
+		q.next[v] = q.head[0]
+		q.prev[v] = -1
+		if q.head[0] >= 0 {
+			q.prev[q.head[0]] = v
+		}
+		q.head[0] = v
+	}
+}
+
+// unlink removes v from its current bucket.
+func (q *bucketQueue) unlink(v int32) {
+	if p := q.prev[v]; p >= 0 {
+		q.next[p] = q.next[v]
+	} else {
+		q.head[q.count[v]] = q.next[v]
+	}
+	if nx := q.next[v]; nx >= 0 {
+		q.prev[nx] = q.prev[v]
+	}
+}
+
+// linkAt pushes v onto the front of bucket c and records its count.
+func (q *bucketQueue) linkAt(v, c int32) {
+	q.count[v] = c
+	h := q.head[c]
+	q.next[v] = h
+	q.prev[v] = -1
+	if h >= 0 {
+		q.prev[h] = v
+	}
+	q.head[c] = v
+}
+
+// inc moves v one bucket up. Counts rise only when sets are added, so
+// the head table grows by at most one slot per call (amortized
+// allocation via append; decrement-only phases never allocate).
+func (q *bucketQueue) inc(v int32) {
+	q.unlink(v)
+	c := q.count[v] + 1
+	if int(c) == len(q.head) {
+		q.head = append(q.head, -1)
+	}
+	q.linkAt(v, c)
+	if c > q.max {
+		q.max = c
+	}
+}
+
+// dec moves v one bucket down. Allocation-free.
+func (q *bucketQueue) dec(v int32) {
+	q.unlink(v)
+	q.linkAt(v, q.count[v]-1)
+}
+
+// maxEligible returns the lowest-ID node with the maximum count among
+// nodes for which eligible returns true (nil = all nodes), and that
+// count. When no node is eligible it returns (-1, 0). Cost is the
+// distance from the top bucket down to the answer's bucket plus the
+// sizes of the buckets scanned — O(top-bucket) for the common
+// unfiltered query, degrading gracefully toward the old O(n) scan only
+// when every populated bucket must be rejected.
+func (q *bucketQueue) maxEligible(eligible func(v int32) bool) (node int32, count int32) {
+	for q.max > 0 && q.head[q.max] < 0 {
+		q.max-- // buckets only drain downward between adds
+	}
+	for b := q.max; b >= 0; b-- {
+		best := int32(-1)
+		for v := q.head[b]; v >= 0; v = q.next[v] {
+			if eligible != nil && !eligible(v) {
+				continue
+			}
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+		if best >= 0 {
+			return best, b
+		}
+	}
+	return -1, 0
+}
+
+// bytes reports the queue's heap footprint.
+func (q *bucketQueue) bytes() int64 {
+	return int64(cap(q.count))*4 + int64(cap(q.next))*4 +
+		int64(cap(q.prev))*4 + int64(cap(q.head))*4
+}

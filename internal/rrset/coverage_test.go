@@ -17,8 +17,8 @@ func coverageOfBrute(c *Collection, S []int32) int {
 		inS[v] = true
 	}
 	hit := 0
-	for _, set := range c.sets {
-		for _, x := range set {
+	for id := int32(0); id < int32(c.Size()); id++ {
+		for _, x := range c.Set(id) {
 			if inS[x] {
 				hit++
 				break

@@ -53,10 +53,16 @@ func TestSampleNCtxMatchesSampleN(t *testing.T) {
 	}
 	for _, workers := range []int{1, 4} {
 		pool := NewPool(g, PoolOptions{Workers: workers, BatchSize: 32})
+		// Yielded slices are windows into reused batch buffers, so the
+		// retained comparison copies must be taken inside the yield.
 		var a, b [][]int32
-		pool.NewStream(probs, 9).SampleN(500, func(nodes []int32, _ int64) { a = append(a, nodes) })
+		pool.NewStream(probs, 9).SampleN(500, func(nodes []int32, _ int64) {
+			a = append(a, append([]int32(nil), nodes...))
+		})
 		if err := pool.NewStream(probs, 9).SampleNCtx(context.Background(), 500,
-			func(nodes []int32, _ int64) { b = append(b, nodes) }); err != nil {
+			func(nodes []int32, _ int64) {
+				b = append(b, append([]int32(nil), nodes...))
+			}); err != nil {
 			t.Fatal(err)
 		}
 		if len(a) != len(b) {

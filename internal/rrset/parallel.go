@@ -31,15 +31,12 @@ type SampleOptions struct {
 	Seed uint64
 }
 
-// sample is one drawn RR set with its width w(R).
-type sample struct {
-	nodes []int32
-	width int64
-}
-
 // SampleSource is anything that emits a deterministic stream of RR sets:
 // a Stream scheduled on a shared Pool, or a self-contained
-// ParallelSampler. The caller owns each emitted node slice.
+// ParallelSampler. The node slice handed to yield is a window into a
+// reused batch buffer — valid only for the duration of the yield call;
+// consumers that retain sets copy them (the arena-backed ingest paths do
+// so as part of their flat append).
 type SampleSource interface {
 	SampleN(count int, yield func(nodes []int32, width int64))
 }
@@ -91,10 +88,12 @@ func (ps *ParallelSampler) NumWorkers() int { return ps.pool.Workers() }
 func (ps *ParallelSampler) Pool() *Pool { return ps.pool }
 
 // AddFromParallel samples count RR sets from the source into the
-// collection. Indexing happens on the caller's goroutine while workers
-// keep sampling, so the collection needs no internal locking. With a
-// single-worker source it is equivalent to AddFrom on the underlying
-// sequential sampler.
+// collection. Indexing (the copy into the arena tail plus inverted-index
+// and bucket-queue updates) happens on the caller's goroutine while
+// workers keep sampling, so the collection needs no internal locking.
+// With a single-worker source it is equivalent to AddFrom on the
+// underlying sequential sampler, and allocation-free once the arenas are
+// warm.
 func (c *Collection) AddFromParallel(src SampleSource, count int) {
 	src.SampleN(count, func(nodes []int32, _ int64) { c.Add(nodes) })
 }

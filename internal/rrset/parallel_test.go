@@ -124,7 +124,7 @@ func TestParallelUniverseMatchesCollection(t *testing.T) {
 		t.Fatalf("sizes differ: %d vs %d", c.Size(), u.Size())
 	}
 	for id := int32(0); id < int32(c.Size()); id++ {
-		cs, us := c.Set(id), u.sets[id]
+		cs, us := c.Set(id), u.Set(id)
 		if len(cs) != len(us) {
 			t.Fatalf("set %d: lengths differ", id)
 		}

@@ -28,6 +28,16 @@ type scratch struct {
 // of Borgs et al. (SODA 2014). The returned node slice is freshly
 // allocated and owned by the caller; scratch state is reusable immediately.
 func (sc *scratch) sample(g *graph.Graph, probs []float32, rng *xrand.RNG) (nodes []int32, width int64) {
+	return sc.sampleInto(nil, g, probs, rng)
+}
+
+// sampleInto draws one random RR set, appending its member nodes (target
+// first) onto dst and returning the extended slice and the set's width.
+// Writing into a caller-supplied tail is what lets collections and
+// streams ingest sets with zero per-set allocations; the RNG consumption
+// is identical to sample's, so destination choice can never perturb the
+// deterministic stream.
+func (sc *scratch) sampleInto(dst []int32, g *graph.Graph, probs []float32, rng *xrand.RNG) (nodes []int32, width int64) {
 	if int64(len(sc.visited)) < int64(g.NumNodes()) {
 		sc.visited = make([]int64, g.NumNodes())
 		sc.epoch = 0
@@ -35,12 +45,15 @@ func (sc *scratch) sample(g *graph.Graph, probs []float32, rng *xrand.RNG) (node
 	sc.epoch++
 	target := rng.Int31n(g.NumNodes())
 	sc.visited[target] = sc.epoch
+	// The BFS front is an index cursor over a stable backing array — a
+	// re-slicing pop (q = q[1:]) would advance the base pointer and leak
+	// the consumed capacity on reset, forcing a fresh queue allocation
+	// every few samples.
 	q := append(sc.queue[:0], target)
-	nodes = append(nodes, target)
+	nodes = append(dst, target)
 	width = int64(g.InDegree(target))
-	for len(q) > 0 {
-		v := q[0]
-		q = q[1:]
+	for qi := 0; qi < len(q); qi++ {
+		v := q[qi]
 		srcs := g.InNeighbors(v)
 		ids := g.InEdgeIDs(v)
 		for i, u := range srcs {
@@ -177,6 +190,22 @@ type Stream struct {
 	pool  *Pool
 	probs []float32
 	rngs  []*xrand.RNG
+	// Reusable single-worker batch buffers: member nodes of the current
+	// batch flat in bufData, per-set end offsets and widths alongside.
+	// Retained across SampleN calls, so warm steady-state sampling on the
+	// single-worker path performs zero per-set heap allocations.
+	bufData   []int32
+	bufEnds   []int
+	bufWidths []int64
+}
+
+// flatBatch is one multi-worker batch of RR sets in flat form: all
+// member nodes concatenated, with per-set end offsets and widths. Three
+// allocations per batch instead of one per set.
+type flatBatch struct {
+	data   []int32
+	ends   []int
+	widths []int64
 }
 
 // NewStream builds a stream of RR sets for the given ad-specific arc
@@ -202,9 +231,12 @@ func (p *Pool) NewStream(probs []float32, seed uint64) *Stream {
 	return s
 }
 
-// SampleN draws count RR sets and hands each — member nodes (caller owns
-// the slice) and width w(R) — to yield, which runs on the calling
-// goroutine. The emission order is deterministic for a fixed stream
+// SampleN draws count RR sets and hands each — member nodes and width
+// w(R) — to yield, which runs on the calling goroutine. The node slice
+// is a window into a reused batch buffer: it is valid only for the
+// duration of the yield call and must be copied to be retained (the
+// arena-backed Collection/Universe ingest paths copy into their flat
+// storage). The emission order is deterministic for a fixed stream
 // configuration.
 func (s *Stream) SampleN(count int, yield func(nodes []int32, width int64)) {
 	s.SampleNCtx(context.Background(), count, yield)
@@ -230,18 +262,14 @@ func (s *Stream) SampleNCtx(ctx context.Context, count int, yield func(nodes []i
 	p := s.pool
 	if len(s.rngs) == 1 {
 		// Single-worker path: sequential sampling on the calling
-		// goroutine. Each batch is drawn into a reused buffer with the
-		// slot held, then released *before* yielding — the same
-		// slot-never-held-across-a-yield rule as the multi-worker path
-		// (so a yield that itself samples through the pool cannot
-		// self-deadlock), which also lets concurrent streams interleave
-		// fairly on the one slot.
+		// goroutine. Each batch is drawn flat into the stream's reused
+		// buffers with the slot held, then released *before* yielding —
+		// the same slot-never-held-across-a-yield rule as the
+		// multi-worker path (so a yield that itself samples through the
+		// pool cannot self-deadlock), which also lets concurrent streams
+		// interleave fairly on the one slot. Buffer reuse across calls is
+		// what makes warm sampling allocation-free.
 		rng := s.rngs[0]
-		bufCap := p.batch
-		if count < bufCap {
-			bufCap = count
-		}
-		buf := make([]sample, 0, bufCap)
 		for done := 0; done < count; {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -251,14 +279,20 @@ func (s *Stream) SampleNCtx(ctx context.Context, count int, yield func(nodes []i
 				chunk = count - done
 			}
 			sc := p.acquire()
-			buf = buf[:0]
+			s.bufData = s.bufData[:0]
+			s.bufEnds = s.bufEnds[:0]
+			s.bufWidths = s.bufWidths[:0]
 			for i := 0; i < chunk; i++ {
-				nodes, width := sc.sample(p.g, s.probs, rng)
-				buf = append(buf, sample{nodes: nodes, width: width})
+				var width int64
+				s.bufData, width = sc.sampleInto(s.bufData, p.g, s.probs, rng)
+				s.bufEnds = append(s.bufEnds, len(s.bufData))
+				s.bufWidths = append(s.bufWidths, width)
 			}
 			p.release(sc)
-			for _, smp := range buf {
-				yield(smp.nodes, smp.width)
+			start := 0
+			for i, end := range s.bufEnds {
+				yield(s.bufData[start:end:end], s.bufWidths[i])
+				start = end
 			}
 			done += chunk
 		}
@@ -272,9 +306,9 @@ func (s *Stream) SampleNCtx(ctx context.Context, count int, yield func(nodes []i
 	}
 	// One channel per RNG stream keeps its batches in order without a
 	// reorder buffer: the merger pops batch b from channel b mod W.
-	chans := make([]chan []sample, active)
+	chans := make([]chan flatBatch, active)
 	for i := range chans {
-		chans[i] = make(chan []sample, 2)
+		chans[i] = make(chan flatBatch, 2)
 	}
 	var wg sync.WaitGroup
 	for wi := 0; wi < active; wi++ {
@@ -290,14 +324,19 @@ func (s *Stream) SampleNCtx(ctx context.Context, count int, yield func(nodes []i
 				if hi > count {
 					hi = count
 				}
-				batch := make([]sample, hi-lo)
+				batch := flatBatch{
+					ends:   make([]int, 0, hi-lo),
+					widths: make([]int64, 0, hi-lo),
+				}
 				// Borrow scratch for the batch only: the send below can
 				// block on the merger, and holding a slot there would let
 				// concurrent streams starve each other.
 				sc := p.acquire()
-				for j := range batch {
-					nodes, width := sc.sample(p.g, s.probs, rng)
-					batch[j] = sample{nodes: nodes, width: width}
+				for j := 0; j < hi-lo; j++ {
+					var width int64
+					batch.data, width = sc.sampleInto(batch.data, p.g, s.probs, rng)
+					batch.ends = append(batch.ends, len(batch.data))
+					batch.widths = append(batch.widths, width)
 				}
 				p.release(sc)
 				chans[wi] <- batch
@@ -312,8 +351,10 @@ func (s *Stream) SampleNCtx(ctx context.Context, count int, yield func(nodes []i
 			// its channel early; the merged prefix ends here.
 			break
 		}
-		for _, smp := range batch {
-			yield(smp.nodes, smp.width)
+		start := 0
+		for i, end := range batch.ends {
+			yield(batch.data[start:end:end], batch.widths[i])
+			start = end
 		}
 	}
 	// Unblock any workers parked on a full channel (the merge loop may

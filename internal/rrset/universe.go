@@ -30,58 +30,73 @@ var (
 
 // Universe is an append-only store of RR sets with an inverted index,
 // shareable by multiple Views. Set IDs are assigned in insertion order,
-// so per-node index lists are ascending — Views exploit this to ignore
-// sets beyond their synced prefix.
+// so per-node index chains are ascending — Views exploit this to stop at
+// their synced prefix. Storage is the same chunked flat arena layout as
+// Collection: one []int32 member buffer, a []uint32 offset table and the
+// block-chained inverted index, so steady-state appends allocate nothing
+// per set and MemoryFootprint is O(1).
 type Universe struct {
-	n        int32
-	sets     [][]int32
-	nodeSets [][]int32
+	n       int32
+	data    []int32
+	offsets []uint32 // set id -> start in data; len = Size()+1
+	idx     nodeIndex
 }
 
 // NewUniverse creates an empty universe over n nodes.
 func NewUniverse(n int32) *Universe {
-	return &Universe{n: n, nodeSets: make([][]int32, n)}
+	u := &Universe{n: n, offsets: make([]uint32, 1, 64)}
+	u.idx.init(n)
+	return u
 }
 
-// Add appends one RR set, taking ownership of the slice.
+// Add appends one RR set, copying it into the arena.
 func (u *Universe) Add(set []int32) {
-	id := int32(len(u.sets))
-	u.sets = append(u.sets, set)
+	id := int32(len(u.offsets)) - 1
+	u.data = grow(u.data, len(set))
+	u.data = append(u.data, set...)
+	u.offsets = grow(u.offsets, 1)
+	u.offsets = append(u.offsets, uint32(len(u.data)))
 	for _, v := range set {
-		u.nodeSets[v] = append(u.nodeSets[v], id)
+		u.idx.push(v, id)
 	}
 }
 
-// AddFrom samples count RR sets into the universe.
+// AddFrom samples count RR sets into the universe through a reused
+// scratch buffer (no per-set allocation).
 func (u *Universe) AddFrom(s *Sampler, count int) {
 	for i := 0; i < count; i++ {
-		set, _ := s.Sample()
-		u.Add(set)
+		var w int64
+		s.buf, w = s.sc.sampleInto(s.buf[:0], s.g, s.probs, s.rng)
+		_ = w
+		u.Add(s.buf)
 	}
 }
 
 // Size returns the number of stored sets.
-func (u *Universe) Size() int { return len(u.sets) }
+func (u *Universe) Size() int { return len(u.offsets) - 1 }
 
-// MemoryFootprint estimates the universe's heap bytes (sets + index).
+// Set returns the member nodes of set id. The slice aliases the arena;
+// treat it as a read-only transient.
+func (u *Universe) Set(id int32) []int32 {
+	return u.data[u.offsets[id]:u.offsets[id+1]:u.offsets[id+1]]
+}
+
+// MemoryFootprint returns the universe's heap bytes (arena, offsets,
+// index) in O(1).
 func (u *Universe) MemoryFootprint() int64 {
-	var total int64
-	for _, s := range u.sets {
-		total += int64(cap(s)) * 4
-	}
-	for _, ns := range u.nodeSets {
-		total += int64(cap(ns)) * 4
-	}
-	return total
+	return int64(cap(u.data))*4 + int64(cap(u.offsets))*4 + u.idx.bytes()
 }
 
 // View is one advertiser's coverage state over a shared Universe prefix.
 // A View sees exactly the first `synced` sets; Sync extends the prefix
-// after the universe has grown.
+// after the universe has grown. Per-view state is a packed coverage
+// bitset (1 bit per set) plus the bucket queue of live marginal
+// coverage counts — the shared set storage is accounted once by the
+// universe's owner.
 type View struct {
 	u        *Universe
-	covered  []bool
-	covCount []int32
+	covered  bitset
+	bq       bucketQueue
 	nCovered int
 	synced   int
 }
@@ -96,7 +111,8 @@ func NewView(u *Universe) *View {
 // sessions so that a universe pre-grown by an earlier session replays
 // exactly the sample sizes a cold run would have seen.
 func NewViewPrefix(u *Universe, limit int) *View {
-	v := &View{u: u, covCount: make([]int32, u.n)}
+	v := &View{u: u}
+	v.bq.init(u.n)
 	v.SyncTo(limit)
 	return v
 }
@@ -118,9 +134,9 @@ func (v *View) SyncTo(limit int) int {
 	}
 	added := 0
 	for id := v.synced; id < limit; id++ {
-		v.covered = append(v.covered, false)
-		for _, x := range v.u.sets[id] {
-			v.covCount[x]++
+		v.covered.appendZero()
+		for _, x := range v.u.Set(int32(id)) {
+			v.bq.inc(x)
 		}
 		added++
 	}
@@ -131,22 +147,23 @@ func (v *View) SyncTo(limit int) int {
 }
 
 // CovCount implements CoverageState.
-func (v *View) CovCount(node int32) int32 { return v.covCount[node] }
+func (v *View) CovCount(node int32) int32 { return v.bq.count[node] }
 
-// CoverBy implements CoverageState.
+// CoverBy implements CoverageState. Allocation-free.
 func (v *View) CoverBy(node int32) int {
 	newly := 0
-	for _, id := range v.u.nodeSets[node] {
+	it := v.u.idx.iter(node)
+	for id, ok := it.next(); ok; id, ok = it.next() {
 		if int(id) >= v.synced {
 			break // ascending IDs: the rest are beyond this view's prefix
 		}
-		if v.covered[id] {
+		if v.covered.get(id) {
 			continue
 		}
-		v.covered[id] = true
+		v.covered.set(id)
 		newly++
-		for _, x := range v.u.sets[id] {
-			v.covCount[x]--
+		for _, x := range v.u.data[v.u.offsets[id]:v.u.offsets[id+1]] {
+			v.bq.dec(x)
 		}
 	}
 	v.nCovered += newly
@@ -159,28 +176,14 @@ func (v *View) NumCovered() int { return v.nCovered }
 // Size implements CoverageState: the synced prefix length is this view's θ.
 func (v *View) Size() int { return v.synced }
 
-// MaxCovCount implements CoverageState.
+// MaxCovCount implements CoverageState via the indexed bucket queue,
+// with the linear-scan reference's exact tie-break semantics.
 func (v *View) MaxCovCount(eligible func(int32) bool) (node int32, count int32) {
-	node = -1
-	for x := int32(0); x < v.u.n; x++ {
-		if eligible != nil && !eligible(x) {
-			continue
-		}
-		if v.covCount[x] > count {
-			count = v.covCount[x]
-			node = x
-		} else if node < 0 {
-			node = x
-		}
-	}
-	if node < 0 {
-		return -1, 0
-	}
-	return node, v.covCount[node]
+	return v.bq.maxEligible(eligible)
 }
 
 // MemoryFootprint implements CoverageState: only the view's own state —
 // the shared universe is accounted once by its owner.
 func (v *View) MemoryFootprint() int64 {
-	return int64(cap(v.covered)) + int64(cap(v.covCount))*4
+	return v.covered.bytes() + v.bq.bytes()
 }
