@@ -1,0 +1,231 @@
+// Package integration exercises the built command-line binaries the way
+// an operator does: through exec, flags, pipes, exit codes, and signals.
+// The unit suites cover the packages behind the commands; these tests
+// cover the part nothing else does — flag wiring, stderr contracts,
+// process lifecycle — by building rmsolve, rmbench, and rmserved once
+// per run and driving the real executables.
+package integration
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/eval"
+)
+
+// binDir holds the freshly built binaries for the whole test run.
+var binDir string
+
+func TestMain(m *testing.M) {
+	os.Exit(func() int {
+		dir, err := os.MkdirTemp("", "repro-integration-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "integration: mkdtemp:", err)
+			return 1
+		}
+		defer os.RemoveAll(dir)
+		binDir = dir
+
+		// Resolve the module root from go.mod so the build works no matter
+		// which directory `go test` was invoked from.
+		gomod, err := exec.Command("go", "env", "GOMOD").Output()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "integration: go env GOMOD:", err)
+			return 1
+		}
+		root := filepath.Dir(strings.TrimSpace(string(gomod)))
+
+		build := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator),
+			"./cmd/rmsolve", "./cmd/rmbench", "./cmd/rmserved")
+		build.Dir = root
+		if out, err := build.CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "integration: building binaries: %v\n%s", err, out)
+			return 1
+		}
+		return m.Run()
+	}())
+}
+
+func bin(name string) string { return filepath.Join(binDir, name) }
+
+// runCmd executes a binary and returns (stdout, stderr, exit code).
+func runCmd(t *testing.T, name string, args ...string) (string, string, int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	cmd := exec.Command(bin(name), args...)
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("running %s: %v", name, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// TestRMSolveTimeoutPartialStats pins the cancellation contract: a
+// -timeout that fires mid-solve exits 1 and reports both the
+// cancellation and the partial work done before it on stderr, instead
+// of dying silently or pretending success.
+func TestRMSolveTimeoutPartialStats(t *testing.T) {
+	_, stderr, code := runCmd(t, "rmsolve",
+		"-dataset=flixster", "-scale=tiny", "-h=4", "-timeout=1ms")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "rmsolve: canceled (timeout or interrupt):") {
+		t.Errorf("stderr missing cancellation line:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "partial work before cancellation:") {
+		t.Errorf("stderr missing partial-stats line:\n%s", stderr)
+	}
+}
+
+// TestRMBenchUnknownDataset pins the registry error contract shared
+// with rmserved's 404: an unknown -datasets entry fails up front and
+// the message enumerates every registered name so the operator can fix
+// the flag without consulting the source.
+func TestRMBenchUnknownDataset(t *testing.T) {
+	_, stderr, code := runCmd(t, "rmbench", "-datasets=nope", "-experiment=table1")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, `unknown dataset "nope"`) {
+		t.Errorf("stderr missing unknown-dataset message:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "registered:") || !strings.Contains(stderr, "flixster") {
+		t.Errorf("stderr does not enumerate registered datasets:\n%s", stderr)
+	}
+}
+
+// TestRMBenchJSONReportValidates runs a real (cheap) experiment with
+// -json and checks the emitted artifact against the documented schema —
+// the same gate CI applies to benchmark uploads.
+func TestRMBenchJSONReportValidates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	_, stderr, code := runCmd(t, "rmbench",
+		"-experiment=fig1", "-scale=tiny", "-quiet", "-json="+path)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr:\n%s", code, stderr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading report: %v", err)
+	}
+	var rep eval.BenchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report fails schema validation: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "fig1" {
+		t.Fatalf("report experiments = %+v, want exactly [fig1]", rep.Experiments)
+	}
+}
+
+// TestRMServedLifecycle drives the daemon through its full life: bind
+// port 0, parse the announced address, serve a health check and a real
+// solve, then SIGTERM — which must drain and exit 0 with the documented
+// farewell on stdout.
+func TestRMServedLifecycle(t *testing.T) {
+	cmd := exec.Command(bin("rmserved"),
+		"-addr=127.0.0.1:0", "-scale=tiny", "-drain=30s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting rmserved: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon announces its resolved listen address on stdout; that
+	// line is the API contract that makes -addr=...:0 scriptable.
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "rmserved: listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("rmserved never announced a listen address; stderr:\n%s", stderr.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q, want 200 \"ok\\n\"", resp.StatusCode, body)
+	}
+
+	solve := `{"dataset":"flixster","h":2,"epsilon":0.3,"max_theta_per_ad":20000}`
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(solve))
+	if err != nil {
+		t.Fatalf("solve: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve = %d, body: %s", resp.StatusCode, body)
+	}
+	var result struct {
+		Dataset string    `json:"dataset"`
+		Seeds   [][]int32 `json:"seeds"`
+	}
+	if err := json.Unmarshal(body, &result); err != nil {
+		t.Fatalf("decoding solve result: %v", err)
+	}
+	if result.Dataset != "flixster" || len(result.Seeds) != 2 {
+		t.Fatalf("solve result = dataset %q with %d ad seed lists, want flixster with 2",
+			result.Dataset, len(result.Seeds))
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("sending SIGTERM: %v", err)
+	}
+	var rest bytes.Buffer
+	for sc.Scan() {
+		rest.WriteString(sc.Text())
+		rest.WriteString("\n")
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rmserved exited non-zero after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("rmserved did not exit within 60s of SIGTERM")
+	}
+	if !strings.Contains(rest.String(), "rmserved: drained, exiting") {
+		t.Fatalf("stdout after SIGTERM missing drain farewell:\n%s", rest.String())
+	}
+	if !strings.Contains(rest.String(), "received, draining") {
+		t.Fatalf("stdout after SIGTERM missing drain announcement:\n%s", rest.String())
+	}
+}

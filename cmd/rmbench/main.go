@@ -171,8 +171,7 @@ func datasetList() ([]string, error) {
 			continue
 		}
 		if !dataset.Default.Has(name) {
-			return nil, fmt.Errorf("unknown dataset %q in -datasets (registered: %s)",
-				name, strings.Join(dataset.Default.Names(), ", "))
+			return nil, fmt.Errorf("-datasets: %w", dataset.Default.UnknownDatasetError(name))
 		}
 		names = append(names, name)
 	}

@@ -1,0 +1,132 @@
+// Command rmserved is the long-running solver service: an HTTP daemon
+// holding one warm solver engine per dataset and serving concurrent
+// allocation sessions with admission control, a bit-identical result
+// cache, Prometheus metrics, and graceful drain on SIGTERM.
+//
+// Examples:
+//
+//	rmserved -addr=127.0.0.1:7600 -scale=tiny
+//	rmserved -datasets=flixster,epinions -warm -workers=1
+//
+//	curl -s localhost:7600/v1/datasets
+//	curl -s -XPOST localhost:7600/v1/solve -d '{"dataset":"flixster","h":4,"mode":"ti-csrm"}'
+//	curl -s localhost:7600/metrics
+//
+// On SIGTERM (or SIGINT) the daemon stops admitting sessions, finishes
+// or cancels in-flight work within -drain, and exits 0. See
+// docs/serving.md for the API reference.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/serve"
+)
+
+var (
+	addr       = flag.String("addr", "127.0.0.1:7600", "listen address (host:port; port 0 picks a free port)")
+	scaleFlag  = flag.String("scale", "tiny", "dataset scale served by this instance: tiny|small|medium|full")
+	dsSeed     = flag.Uint64("dataset-seed", 1, "seed for dataset synthesis and advertiser drawing")
+	datasets   = flag.String("datasets", "", "comma-separated dataset allowlist (empty = whole registry)")
+	defaultH   = flag.Int("h", 4, "default advertiser count for requests that omit h")
+	maxH       = flag.Int("maxh", 64, "maximum advertiser count a request may ask for")
+	workers    = flag.Int("workers", 1, "RR-sampling scratch slots per engine (1 = sequential-identical)")
+	batch      = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default)")
+	maxConc    = flag.Int("max-concurrent", 0, "solve sessions running at once (0 = GOMAXPROCS)")
+	maxQueue   = flag.Int("max-queue", 64, "sessions waiting for a slot before 429 (negative = no queue)")
+	timeoutFl  = flag.Duration("timeout", 60*time.Second, "default per-session deadline")
+	maxTimeout = flag.Duration("max-timeout", 10*time.Minute, "cap on request-supplied deadlines")
+	cacheSize  = flag.Int("cache", 512, "result cache entries (negative disables)")
+	drainFl    = flag.Duration("drain", 30*time.Second, "SIGTERM drain deadline for in-flight sessions")
+	warmFlag   = flag.Bool("warm", false, "build engines for the -datasets list before listening")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rmserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale, err := gen.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+	var names []string
+	if *datasets != "" {
+		for _, n := range strings.Split(*datasets, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	srv := serve.New(serve.Config{
+		Scale:          scale,
+		DatasetSeed:    *dsSeed,
+		Datasets:       names,
+		DefaultH:       *defaultH,
+		MaxH:           *maxH,
+		Workers:        *workers,
+		SampleBatch:    *batch,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		DefaultTimeout: *timeoutFl,
+		MaxTimeout:     *maxTimeout,
+		CacheEntries:   *cacheSize,
+		DrainTimeout:   *drainFl,
+	})
+	if *warmFlag {
+		if err := srv.Warm(nil, 0); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address is echoed so scripts (and the smoke test) can
+	// bind port 0 and discover what they got.
+	fmt.Printf("rmserved: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("rmserved: %v received, draining (deadline %v)\n", sig, *drainFl)
+	}
+	// Drain order: stop admitting at the application layer first (new
+	// sessions get 503, readyz flips), wait for in-flight sessions, then
+	// close the listener. Either way the daemon exits 0 — a drain that
+	// had to cancel stragglers is still an orderly shutdown.
+	if err := srv.Drain(*drainFl); err != nil {
+		fmt.Fprintln(os.Stderr, "rmserved:", err)
+	}
+	hs.Close()
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "rmserved:", err)
+	}
+	fmt.Println("rmserved: drained, exiting")
+	return nil
+}

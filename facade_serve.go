@@ -1,0 +1,43 @@
+package repro
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Serving-layer types: the long-running HTTP solver service behind
+// cmd/rmserved, embeddable in any process that wants warm solver
+// engines behind an HTTP surface.
+type (
+	// ServerConfig fixes a solver server's resources and limits (scale,
+	// dataset allowlist, concurrency, queue bound, deadlines, result
+	// cache size, drain deadline).
+	ServerConfig = serve.Config
+	// SolverServer is the service itself: warm engines, admission
+	// control, a bit-identical result cache, Prometheus metrics, and
+	// graceful drain.
+	SolverServer = serve.Server
+	// SolveAPIRequest / SolveAPIResult are the POST /v1/solve wire
+	// schema.
+	SolveAPIRequest = serve.SolveRequest
+	SolveAPIResult  = serve.SolveResult
+	// EvaluateAPIRequest / EvaluateAPIResult are the POST /v1/evaluate
+	// wire schema.
+	EvaluateAPIRequest = serve.EvaluateRequest
+	EvaluateAPIResult  = serve.EvaluateResult
+	// APIError is the JSON body of every non-2xx answer.
+	APIError = serve.ErrorResponse
+)
+
+// NewSolverServer builds a solver service from the config. Mount
+// Handler on an http.Server (wire BaseContext so in-flight sessions
+// abort on shutdown) and call Drain on SIGTERM.
+func NewSolverServer(cfg ServerConfig) *SolverServer { return serve.New(cfg) }
+
+// Compile-time checks that the server surface keeps its contract.
+var (
+	_ = func(s *SolverServer) http.Handler { return s.Handler() }
+	_ = func(s *SolverServer, d time.Duration) error { return s.Drain(d) }
+)

@@ -574,6 +574,15 @@ func gammaKey(gamma []float64) string {
 	return string(buf)
 }
 
+// GammaKey returns the canonical byte-string key of a topic distribution
+// — the gammaKey normalization that ShareSamples grouping and the
+// Engine's probability/universe caches dispatch on (Float64bits with
+// -0.0 collapsed onto 0.0 and NaN canonicalized). Servers embedding the
+// Engine compose result-cache keys from it so that cache identity
+// matches solve identity exactly: two requests whose gammas compare
+// equal under this key draw bit-identical RR samples for the same seed.
+func GammaKey(gamma []float64) string { return gammaKey(gamma) }
+
 // thetaFor computes the target sample size for seed-set size s, capped by
 // MaxThetaPerAd.
 func (e *solver) thetaFor(ad *adState, s int) int {

@@ -99,6 +99,54 @@ type Engine struct {
 	mu        sync.Mutex
 	probs     map[string][]float32
 	universes map[universeKey]*sharedGroup
+
+	// Cumulative per-solve counters (see EngineCounters). Atomics so a
+	// monitoring endpoint can read them while solves are in flight.
+	solvesStarted   atomic.Int64
+	solvesCompleted atomic.Int64
+	solvesFailed    atomic.Int64
+	evaluations     atomic.Int64
+	rrSetsSampled   atomic.Int64
+	universeHits    atomic.Int64
+	universeMisses  atomic.Int64
+}
+
+// EngineCounters is a snapshot of an Engine's cumulative work across all
+// sessions it has served — the counters a long-running server exports as
+// metrics. All fields only ever increase over the Engine's lifetime
+// (Reset does not clear them: they describe work done, not state held).
+type EngineCounters struct {
+	// SolvesStarted / SolvesCompleted / SolvesFailed count Solve calls:
+	// every call increments Started and then exactly one of the other
+	// two. Failed includes validation rejections and canceled sessions.
+	SolvesStarted   int64
+	SolvesCompleted int64
+	SolvesFailed    int64
+	// Evaluations counts Evaluate calls that passed validation.
+	Evaluations int64
+	// RRSetsSampled accumulates Stats.TotalRRSets over every solve,
+	// including the partial work of canceled sessions.
+	RRSetsSampled int64
+	// UniverseCacheHits / UniverseCacheMisses count cross-solve universe
+	// cache lookups by ShareSamples sessions (a miss creates the entry).
+	UniverseCacheHits   int64
+	UniverseCacheMisses int64
+}
+
+// Counters returns a consistent-enough snapshot of the Engine's
+// cumulative counters (each field is individually atomic; the set is
+// read without a lock, so a concurrent solve may be visible in Started
+// but not yet in Completed/Failed).
+func (e *Engine) Counters() EngineCounters {
+	return EngineCounters{
+		SolvesStarted:       e.solvesStarted.Load(),
+		SolvesCompleted:     e.solvesCompleted.Load(),
+		SolvesFailed:        e.solvesFailed.Load(),
+		Evaluations:         e.evaluations.Load(),
+		RRSetsSampled:       e.rrSetsSampled.Load(),
+		UniverseCacheHits:   e.universeHits.Load(),
+		UniverseCacheMisses: e.universeMisses.Load(),
+	}
 }
 
 // NewEngine builds an Engine for the graph and topic model. The options'
@@ -216,6 +264,7 @@ func (e *Engine) edgeProbsFor(gamma topic.Distribution) []float32 {
 // solves sharing any two entries necessarily assign them the same
 // positions — hence acquire them in the same order.
 func (e *Engine) lockSharedGroup(ctx context.Context, key universeKey, probs []float32) (*sharedGroup, error) {
+	first := true
 	for {
 		e.mu.Lock()
 		sg, ok := e.universes[key]
@@ -228,6 +277,14 @@ func (e *Engine) lockSharedGroup(ctx context.Context, key universeKey, probs []f
 			e.universes[key] = sg
 		}
 		e.mu.Unlock()
+		if first {
+			first = false
+			if ok {
+				e.universeHits.Add(1)
+			} else {
+				e.universeMisses.Add(1)
+			}
+		}
 		select {
 		case sg.lock <- struct{}{}:
 		case <-ctx.Done():
@@ -272,10 +329,12 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	e.solvesStarted.Add(1)
 	opt = opt.withDefaults()
 	opt.Workers = e.pool.Workers()
 	opt.SampleBatch = e.pool.BatchSize()
 	if err := e.validateSolve(p, opt); err != nil {
+		e.solvesFailed.Add(1)
 		return nil, nil, err
 	}
 	start := time.Now()
@@ -310,7 +369,9 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 	alloc, err := s.solve()
 	s.snapshotStats()
 	s.stats.Duration = time.Since(start)
+	e.rrSetsSampled.Add(s.stats.TotalRRSets)
 	if err != nil {
+		e.solvesFailed.Add(1)
 		return nil, s.stats, err
 	}
 	completed = true
@@ -318,8 +379,10 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 	// growth-time revisions can shift payments within the ±ε estimation
 	// accuracy, so validate with ε slack.
 	if err := alloc.ValidateSlack(p, opt.Epsilon); err != nil {
+		e.solvesFailed.Add(1)
 		return nil, s.stats, fmt.Errorf("core: %w: %w", ErrInfeasible, err)
 	}
+	e.solvesCompleted.Add(1)
 	return alloc, s.stats, nil
 }
 
@@ -404,6 +467,7 @@ func (e *Engine) Evaluate(ctx context.Context, p *Problem, a *Allocation, runs, 
 	if a == nil || len(a.Seeds) != p.NumAds() {
 		return nil, fmt.Errorf("core: %w: allocation does not match problem", ErrInvalidProblem)
 	}
+	e.evaluations.Add(1)
 	return evaluateMC(ctx, p, a, runs, workers, seed, func(i int) []float32 {
 		return e.edgeProbsFor(p.Ads[i].Gamma)
 	})

@@ -3,6 +3,7 @@ package dataset
 import (
 	"bufio"
 	"compress/gzip"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -10,6 +11,26 @@ import (
 
 	"repro/internal/graph"
 )
+
+// ErrBadGraphFile is the sentinel wrapped by every text edge-list
+// decoding failure: malformed lines, node ids out of range, corrupt gzip
+// content, oversized tokens. Test with errors.Is. Like ErrBadSnapshot
+// for the binary format, it is the contract the dataset fuzz suite
+// enforces — malformed input must surface as this sentinel, never as a
+// panic.
+var ErrBadGraphFile = errors.New("dataset: bad graph file")
+
+func errGraphFile(format string, args ...interface{}) error {
+	return fmt.Errorf("%w: %s", ErrBadGraphFile, fmt.Sprintf(format, args...))
+}
+
+// maxEdgeListNodes caps the node-id space a text edge list may declare
+// (via header or ids). Building a graph allocates O(n) regardless of the
+// arc count, so an adversarial 10-byte file claiming two-billion nodes
+// must fail cleanly instead of attempting a multi-gigabyte make().
+// Larger graphs belong in the binary snapshot format, whose reader is
+// bounded by the bytes actually present.
+const maxEdgeListNodes = 1 << 30
 
 // maybeGzip wraps r in a gzip reader when the stream starts with the
 // gzip magic, buffering either way. Detection is by content, not file
@@ -39,6 +60,13 @@ func maybeGzip(r io.Reader) (io.Reader, error) {
 // reader never slurps the file: peak memory is the arc arrays plus one
 // line buffer.
 func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	return readEdgeListLimit(r, maxEdgeListNodes)
+}
+
+// readEdgeListLimit is ReadEdgeList with an explicit node-id-space cap —
+// the fuzz harness lowers it so corpus exploration cannot stall on
+// gigabyte allocations while still exercising the full parse path.
+func readEdgeListLimit(r io.Reader, maxNodes int32) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	var n int32 = -1
@@ -79,13 +107,18 @@ func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		// Scanner failures are content-caused here: oversized tokens or a
+		// decompression error from a corrupt gzip stream.
+		return nil, errGraphFile("reading edge list: %v", err)
 	}
 	if n < 0 {
 		n = maxID + 1
 	}
 	if maxID >= n {
-		return nil, fmt.Errorf("dataset: node id %d exceeds declared node count %d", maxID, n)
+		return nil, errGraphFile("node id %d exceeds declared node count %d", maxID, n)
+	}
+	if n > maxNodes {
+		return nil, errGraphFile("node count %d exceeds edge-list limit %d (use a binary snapshot)", n, maxNodes)
 	}
 	return graph.FromEdges(n, srcs, dsts), nil
 }
@@ -111,15 +144,15 @@ func parseID(line []byte, i, lineNo int) (int32, int, error) {
 	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
 		v = v*10 + int64(line[i]-'0')
 		if v > 1<<31-1 {
-			return 0, i, fmt.Errorf("dataset: line %d: node id overflows int32", lineNo)
+			return 0, i, errGraphFile("line %d: node id overflows int32", lineNo)
 		}
 		i++
 	}
 	if i == start {
-		return 0, i, fmt.Errorf("dataset: line %d: expected 'u v', got %q", lineNo, string(line))
+		return 0, i, errGraphFile("line %d: expected 'u v', got %q", lineNo, string(line))
 	}
 	if i < len(line) && line[i] != ' ' && line[i] != '\t' && line[i] != '\r' {
-		return 0, i, fmt.Errorf("dataset: line %d: bad node id in %q", lineNo, string(line))
+		return 0, i, errGraphFile("line %d: bad node id in %q", lineNo, string(line))
 	}
 	return int32(v), i, nil
 }
@@ -134,7 +167,7 @@ func LoadEdgeList(path string) (*graph.Graph, error) {
 	defer f.Close()
 	r, err := maybeGzip(f)
 	if err != nil {
-		return nil, err
+		return nil, errGraphFile("gzip header: %v", err)
 	}
 	return ReadEdgeList(r)
 }

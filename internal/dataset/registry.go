@@ -1,14 +1,39 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/gen"
 	"repro/internal/topic"
 	"repro/internal/xrand"
 )
+
+// ErrUnknownDataset is the sentinel wrapped by every failed registry
+// lookup; dispatch with errors.Is. The concrete error is an
+// *UnknownError carrying the registered names, so callers (rmbench's
+// -datasets validation, rmserved's /v1/* 404 bodies) can enumerate what
+// would have resolved instead of reporting a bare "unknown".
+var ErrUnknownDataset = errors.New("unknown dataset")
+
+// UnknownError reports a dataset name that does not resolve in a
+// Registry, together with the names that do. It unwraps to
+// ErrUnknownDataset.
+type UnknownError struct {
+	Name string
+	// Registered is the sorted list of names that would have resolved.
+	Registered []string
+}
+
+func (e *UnknownError) Error() string {
+	return fmt.Sprintf("dataset: unknown dataset %q (registered: %s)",
+		e.Name, strings.Join(e.Registered, ", "))
+}
+
+func (e *UnknownError) Unwrap() error { return ErrUnknownDataset }
 
 // Source is a resolved dataset, ready for an Engine: the graph with its
 // Table 1 metadata plus the influence-probability model aligned to it.
@@ -110,6 +135,15 @@ func (r *Registry) RegisterFile(name, path string) error {
 	return nil
 }
 
+// UnknownDatasetError builds the registry's canonical lookup-failure
+// error for name: an *UnknownError enumerating the registered names,
+// wrapping ErrUnknownDataset. Open returns it on a miss; validators that
+// pre-check names (rmbench -datasets, the serving layer's 404 bodies)
+// use it directly so every surface reports the same message.
+func (r *Registry) UnknownDatasetError(name string) error {
+	return &UnknownError{Name: name, Registered: r.Names()}
+}
+
 // Has reports whether name resolves in this registry.
 func (r *Registry) Has(name string) bool {
 	r.mu.RLock()
@@ -138,7 +172,7 @@ func (r *Registry) Open(name string, scale gen.Scale, rng *xrand.RNG) (*Source, 
 	e, ok := r.entries[name]
 	r.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("dataset: unknown dataset %q (registered: %v)", name, r.Names())
+		return nil, r.UnknownDatasetError(name)
 	}
 	if e.build != nil {
 		return e.build(scale, rng)

@@ -1,8 +1,11 @@
 package dataset
 
 import (
+	"errors"
 	"path/filepath"
 	"reflect"
+	"slices"
+	"strings"
 	"testing"
 
 	"repro/internal/gen"
@@ -23,10 +26,32 @@ func TestRegistryPresets(t *testing.T) {
 	}
 }
 
+// TestRegistryUnknownName pins the lookup-failure contract every
+// surface shares (rmbench's -datasets validation, rmserved's 404):
+// a miss wraps ErrUnknownDataset and carries the registered names so
+// the message can enumerate valid choices.
 func TestRegistryUnknownName(t *testing.T) {
 	r := NewRegistry()
-	if _, err := r.Open("nope", gen.ScaleTiny, xrand.New(1)); err == nil {
+	_, err := r.Open("nope", gen.ScaleTiny, xrand.New(1))
+	if err == nil {
 		t.Fatal("Open accepted an unknown dataset name")
+	}
+	if !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("Open miss does not wrap ErrUnknownDataset: %v", err)
+	}
+	var ue *UnknownError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Open miss is not an *UnknownError: %v", err)
+	}
+	if !slices.Equal(ue.Registered, r.Names()) {
+		t.Fatalf("Registered = %v, want the registry's names %v", ue.Registered, r.Names())
+	}
+	if msg := err.Error(); !strings.Contains(msg, `unknown dataset "nope"`) ||
+		!strings.Contains(msg, "registered:") {
+		t.Fatalf("error message does not enumerate choices: %q", msg)
+	}
+	if err := r.UnknownDatasetError("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("UnknownDatasetError does not wrap the sentinel: %v", err)
 	}
 }
 

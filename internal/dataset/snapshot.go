@@ -254,7 +254,7 @@ func Load(path string) (*Snapshot, error) {
 	defer f.Close()
 	r, err := maybeGzip(f)
 	if err != nil {
-		return nil, err
+		return nil, errFormat("gzip header: %v", err)
 	}
 	return Read(r)
 }

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errBusy reports that both the running slots and the wait queue are
+// full — the handler answers 429 with a Retry-After hint.
+var errBusy = errors.New("serve: server at capacity")
+
+// admission is the solve-session gate: at most maxConcurrent sessions
+// hold a slot at once, at most maxQueue more wait for one, and everyone
+// beyond that is rejected immediately. The queue counter is maintained
+// with a CAS loop so rejection is wait-free — a stampede of requests
+// cannot pile onto a mutex just to be told to go away.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims a session slot, waiting in the bounded queue if all are
+// busy. It returns errBusy when the queue is full, or the context's
+// error if the caller's deadline fires while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	for {
+		q := a.queued.Load()
+		if q >= a.maxQueue {
+			return errBusy
+		}
+		if a.queued.CompareAndSwap(q, q+1) {
+			break
+		}
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot claimed by acquire.
+func (a *admission) release() { <-a.slots }
+
+// running returns the number of sessions currently holding a slot.
+func (a *admission) running() int { return len(a.slots) }
+
+// queueDepth returns the number of sessions waiting for a slot.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }

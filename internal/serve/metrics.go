@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// metrics holds the server-level counters exported at /metrics. All
+// fields are atomics: handlers bump them without coordination and the
+// exporter reads a per-field-consistent snapshot.
+type metrics struct {
+	solves            atomic.Int64 // /v1/solve sessions dispatched to an engine
+	evaluates         atomic.Int64 // /v1/evaluate sessions dispatched to an engine
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	rejectedBusy      atomic.Int64 // 429: queue full
+	rejectedDraining  atomic.Int64 // 503: drain in progress
+	deadlineExceeded  atomic.Int64 // 504: request deadline fired mid-session
+	requestErrors     atomic.Int64 // other 4xx/5xx
+	sessionsCompleted atomic.Int64 // sessions that produced a 200
+}
+
+// engineRow is one warm engine's exportable state: cumulative counters
+// plus the memory it holds right now.
+type engineRow struct {
+	labels        string
+	counters      core.EngineCounters
+	universes     int64
+	universeBytes int64
+	samplerBytes  int64
+	workers       int64
+}
+
+// handleMetrics renders the Prometheus text exposition format (0.0.4)
+// from the server counters, the admission gate, the result cache, and
+// every warm engine's cumulative counters — no client library, the
+// format is plain text and the repo takes no new dependencies.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	gauge := func(name, help string, v interface{}) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("rmserved_uptime_seconds", "Seconds since the server was constructed.",
+		fmt.Sprintf("%.3f", time.Since(s.start).Seconds()))
+	draining := 0
+	if s.gate.isDraining() {
+		draining = 1
+	}
+	gauge("rmserved_draining", "1 while the server is draining (no new sessions admitted).", draining)
+	gauge("rmserved_inflight_sessions", "Solve/evaluate sessions past the drain gate and not yet finished.", s.gate.inFlight())
+	gauge("rmserved_running_sessions", "Sessions currently holding an admission slot.", s.adm.running())
+	gauge("rmserved_queue_depth", "Sessions waiting for an admission slot.", s.adm.queueDepth())
+	gauge("rmserved_cache_entries", "Entries in the result cache.", s.cache.len())
+
+	counter("rmserved_solves_total", "Solve sessions dispatched to an engine (cache hits excluded).", s.met.solves.Load())
+	counter("rmserved_evaluates_total", "Evaluate sessions dispatched to an engine (cache hits excluded).", s.met.evaluates.Load())
+	counter("rmserved_sessions_completed_total", "Sessions that returned a successful response.", s.met.sessionsCompleted.Load())
+	counter("rmserved_cache_hits_total", "Requests served bit-identically from the result cache.", s.met.cacheHits.Load())
+	counter("rmserved_cache_misses_total", "Cacheable requests that had to be computed.", s.met.cacheMisses.Load())
+	counter("rmserved_rejected_busy_total", "Requests rejected with 429 because the session queue was full.", s.met.rejectedBusy.Load())
+	counter("rmserved_rejected_draining_total", "Requests rejected with 503 during drain.", s.met.rejectedDraining.Load())
+	counter("rmserved_deadline_exceeded_total", "Sessions that hit their request deadline and returned 504.", s.met.deadlineExceeded.Load())
+	counter("rmserved_request_errors_total", "Requests that failed for other reasons (bad input, unknown dataset, internal).", s.met.requestErrors.Load())
+
+	// Per-engine series, labeled by dataset and advertiser count.
+	rows := s.engineRows()
+	gauge("rmserved_warm_engines", "Warm (dataset, h) engines currently held.", len(rows))
+	emit := func(name, help, kind string, get func(r engineRow) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%s{%s} %d\n", name, r.labels, get(r))
+		}
+	}
+	emit("rmserved_engine_solves_started_total", "Solve calls entered on this engine.", "counter",
+		func(r engineRow) int64 { return r.counters.SolvesStarted })
+	emit("rmserved_engine_solves_completed_total", "Solve calls that returned an allocation.", "counter",
+		func(r engineRow) int64 { return r.counters.SolvesCompleted })
+	emit("rmserved_engine_solves_failed_total", "Solve calls rejected, canceled, or failed.", "counter",
+		func(r engineRow) int64 { return r.counters.SolvesFailed })
+	emit("rmserved_engine_evaluations_total", "Evaluate calls served by this engine.", "counter",
+		func(r engineRow) int64 { return r.counters.Evaluations })
+	emit("rmserved_engine_rr_sets_sampled_total", "RR sets sampled across all sessions, including canceled partial work.", "counter",
+		func(r engineRow) int64 { return r.counters.RRSetsSampled })
+	emit("rmserved_engine_universe_cache_hits_total", "Cross-solve universe cache hits by ShareSamples sessions.", "counter",
+		func(r engineRow) int64 { return r.counters.UniverseCacheHits })
+	emit("rmserved_engine_universe_cache_misses_total", "Cross-solve universe cache misses (entry created).", "counter",
+		func(r engineRow) int64 { return r.counters.UniverseCacheMisses })
+	emit("rmserved_engine_cached_universes", "RR-set universes held by the cross-solve cache.", "gauge",
+		func(r engineRow) int64 { return r.universes })
+	emit("rmserved_engine_cached_universe_bytes", "Heap footprint of the cross-solve universe cache.", "gauge",
+		func(r engineRow) int64 { return r.universeBytes })
+	emit("rmserved_engine_sampler_memory_bytes", "High-water scratch footprint of the engine's sampling pool.", "gauge",
+		func(r engineRow) int64 { return r.samplerBytes })
+	emit("rmserved_engine_workers", "RR-sampling scratch slots of the engine.", "gauge",
+		func(r engineRow) int64 { return r.workers })
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(b.String()))
+}
+
+// engineRows snapshots every warm engine's exportable state, in the
+// sorted order of warmKeys.
+func (s *Server) engineRows() []engineRow {
+	keys := s.warmKeys()
+	rows := make([]engineRow, 0, len(keys))
+	for _, k := range keys {
+		s.mu.Lock()
+		wb := s.benches[k]
+		s.mu.Unlock()
+		if wb == nil {
+			continue
+		}
+		e := wb.Engine()
+		rows = append(rows, engineRow{
+			labels:        fmt.Sprintf("dataset=%q,h=\"%d\"", k.name, k.h),
+			counters:      e.Counters(),
+			universes:     int64(e.CachedUniverses()),
+			universeBytes: e.CachedUniverseBytes(),
+			samplerBytes:  e.SamplerMemoryBytes(),
+			workers:       int64(e.Workers()),
+		})
+	}
+	return rows
+}

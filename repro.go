@@ -275,6 +275,15 @@ type (
 // magic, truncation, checksum mismatch); dispatch with errors.Is.
 var ErrBadSnapshot = dataset.ErrBadSnapshot
 
+// ErrBadGraphFile is wrapped by every text edge-list decoding failure
+// (malformed lines, out-of-range ids, corrupt gzip); dispatch with
+// errors.Is.
+var ErrBadGraphFile = dataset.ErrBadGraphFile
+
+// ErrUnknownDataset is wrapped by every failed registry lookup; the
+// concrete *dataset.UnknownError enumerates the registered names.
+var ErrUnknownDataset = dataset.ErrUnknownDataset
+
 // Datasets is the process-wide dataset registry: the four synthetic
 // presets plus whatever file-backed entries the process registers.
 // NewWorkbench resolves its dataset name here.
