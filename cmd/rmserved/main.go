@@ -49,6 +49,7 @@ var (
 	cacheSize  = flag.Int("cache", 512, "result cache entries (negative disables)")
 	drainFl    = flag.Duration("drain", 30*time.Second, "SIGTERM drain deadline for in-flight sessions")
 	warmFlag   = flag.Bool("warm", false, "build engines for the -datasets list before listening")
+	maxEvalW   = flag.Int("max-eval-workers", 0, "cap on per-request /v1/evaluate parallelism (0 = max(GOMAXPROCS, 2))")
 )
 
 func main() {
@@ -86,6 +87,7 @@ func run() error {
 		MaxTimeout:     *maxTimeout,
 		CacheEntries:   *cacheSize,
 		DrainTimeout:   *drainFl,
+		MaxEvalWorkers: *maxEvalW,
 	})
 	if *warmFlag {
 		if err := srv.Warm(nil, 0); err != nil {

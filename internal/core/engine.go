@@ -123,10 +123,15 @@ type Options struct {
 	Progress func(ProgressEvent)
 }
 
+// DefaultEpsilon is the estimation accuracy used when Options.Epsilon
+// is zero. Callers that build cache keys from Options (internal/serve)
+// normalize through it so an omitted ε and an explicit default agree.
+const DefaultEpsilon = 0.1
+
 func (o *Options) withDefaults() Options {
 	out := *o
 	if out.Epsilon == 0 {
-		out.Epsilon = 0.1
+		out.Epsilon = DefaultEpsilon
 	}
 	if out.Ell == 0 {
 		out.Ell = 1

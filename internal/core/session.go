@@ -467,6 +467,18 @@ func (e *Engine) Evaluate(ctx context.Context, p *Problem, a *Allocation, runs, 
 	if a == nil || len(a.Seeds) != p.NumAds() {
 		return nil, fmt.Errorf("core: %w: allocation does not match problem", ErrInvalidProblem)
 	}
+	// Seed ids index visited arrays and incentive tables inside the
+	// cascade workers; an out-of-range id must fail here, not panic in a
+	// goroutine (allocations can arrive from outside Solve — e.g. the
+	// serving layer's /v1/evaluate).
+	for i, seeds := range a.Seeds {
+		for _, u := range seeds {
+			if u < 0 || u >= p.Graph.NumNodes() {
+				return nil, fmt.Errorf("core: %w: ad %d seed node %d out of range [0, %d)",
+					ErrInvalidProblem, i, u, p.Graph.NumNodes())
+			}
+		}
+	}
 	e.evaluations.Add(1)
 	return evaluateMC(ctx, p, a, runs, workers, seed, func(i int) []float32 {
 		return e.edgeProbsFor(p.Ads[i].Gamma)

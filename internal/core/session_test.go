@@ -269,6 +269,16 @@ func TestEngineSolveInvalidInputs(t *testing.T) {
 	if _, err := eng.AdaptiveRun(ctx, other, AdaptiveOptions{Engine: Options{Epsilon: 0.3}}); !errors.Is(err, ErrInvalidProblem) {
 		t.Errorf("foreign adaptive run: err = %v, want ErrInvalidProblem", err)
 	}
+	// Out-of-range seed ids in an evaluated allocation (which may come
+	// from outside Solve — e.g. a serving-layer client) must be rejected,
+	// not panic inside a simulation goroutine.
+	for _, u := range []int32{-1, p.Graph.NumNodes(), 1 << 30, 2147483647} {
+		bad := NewAllocation(2)
+		bad.Seeds[0] = []int32{u}
+		if _, err := eng.Evaluate(ctx, p, bad, 10, 2, 1); !errors.Is(err, ErrInvalidProblem) {
+			t.Errorf("evaluate seed %d: err = %v, want ErrInvalidProblem", u, err)
+		}
+	}
 }
 
 // Engine.Evaluate must agree bit-for-bit with the legacy EvaluateMC and

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"time"
 
@@ -29,18 +30,26 @@ type SolveRequest struct {
 	// Incentive is the incentive model: linear (default), constant,
 	// sublinear, superlinear.
 	Incentive string `json:"incentive,omitempty"`
-	// Alpha is the incentive scale α (default 0.2).
-	Alpha float64 `json:"alpha,omitempty"`
+	// Alpha is the incentive scale α, which the incentive models require
+	// to be a positive finite number. A pointer so that an omitted field
+	// (default 0.2) is distinguishable from an explicit out-of-range
+	// value, which is rejected with a 400 instead of silently rewritten.
+	Alpha *float64 `json:"alpha,omitempty"`
 	// Mode is the algorithm: ti-csrm (default), ti-carm, pagerank-gr,
 	// pagerank-rr.
 	Mode string `json:"mode,omitempty"`
-	// Epsilon is the RR estimation accuracy ε (default 0.1).
+	// Epsilon is the RR estimation accuracy ε. Zero is the engine's
+	// own "use the default" sentinel (core.DefaultEpsilon = 0.1) — the
+	// handler normalizes it before cache keying, so omitting ε and
+	// requesting 0.1 explicitly are the same request.
 	Epsilon float64 `json:"epsilon,omitempty"`
 	// Window is TI-CSRM's window size (0 = full).
 	Window int `json:"window,omitempty"`
-	// Seed drives all sampling (default 1); with the server's fixed
-	// worker configuration it pins the result bit-for-bit.
-	Seed uint64 `json:"seed,omitempty"`
+	// Seed drives all sampling. A pointer so that an explicit seed 0 is
+	// distinguishable from an omitted field (which defaults to 1); with
+	// the server's fixed worker configuration it pins the result
+	// bit-for-bit.
+	Seed *uint64 `json:"seed,omitempty"`
 	// MaxThetaPerAd caps RR samples per ad (0 = engine default).
 	MaxThetaPerAd int `json:"max_theta_per_ad,omitempty"`
 	// ShareSamples shares RR universes across same-topic ads and enables
@@ -60,22 +69,24 @@ type SolveRequest struct {
 // instance coordinates (dataset, h, incentive, alpha) must match the
 // solve that produced the seeds for the seed-cost accounting to align.
 type EvaluateRequest struct {
-	Dataset   string    `json:"dataset"`
-	H         int       `json:"h,omitempty"`
-	Incentive string    `json:"incentive,omitempty"`
-	Alpha     float64   `json:"alpha,omitempty"`
-	Seeds     [][]int32 `json:"seeds"`
+	Dataset   string `json:"dataset"`
+	H         int    `json:"h,omitempty"`
+	Incentive string `json:"incentive,omitempty"`
+	// Alpha is the incentive scale α (pointer: omitted defaults to 0.2,
+	// an explicit non-positive value is a 400).
+	Alpha *float64  `json:"alpha,omitempty"`
+	Seeds [][]int32 `json:"seeds"`
 	// Runs is the number of Monte-Carlo cascades (default 2000, capped
 	// at Config.MaxEvalRuns).
 	Runs int `json:"runs,omitempty"`
 	// Workers is the simulation parallelism (default 2 — the CLI's
-	// fixed split, machine-independent).
+	// fixed split, machine-independent), capped at Config.MaxEvalWorkers.
 	Workers int `json:"workers,omitempty"`
-	// Seed drives the evaluation cascades (default 1^0xabcdef as in the
-	// CLIs when unset... default is seed 1 xor 0xabcdef).
-	Seed      uint64 `json:"seed,omitempty"`
-	TimeoutMS int64  `json:"timeout_ms,omitempty"`
-	NoCache   bool   `json:"no_cache,omitempty"`
+	// Seed drives the evaluation cascades (pointer: explicit 0 is
+	// honored, omitted defaults to 1^0xabcdef as in the CLIs).
+	Seed      *uint64 `json:"seed,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	NoCache   bool    `json:"no_cache,omitempty"`
 }
 
 // SolveStats mirrors core.Stats for JSON transport.
@@ -235,7 +246,8 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 // request-error metric for statuses the dedicated counters don't cover.
 func (s *Server) writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
 	switch status {
-	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout, statusClientClosedRequest:
 	default:
 		s.met.requestErrors.Add(1)
 	}
@@ -278,6 +290,21 @@ func resolveKind(name string) (incentive.Kind, error) {
 	return incentive.ParseKind(name)
 }
 
+// resolveAlpha resolves the incentive scale (default 0.2 when omitted).
+// The incentive layer's contract is a strictly positive finite α — it
+// panics otherwise — so a request outside that range is a 400, not a
+// crashed handler.
+func resolveAlpha(a *float64) (float64, error) {
+	if a == nil {
+		return 0.2, nil
+	}
+	alpha := *a
+	if !(alpha > 0) || math.IsInf(alpha, 0) {
+		return 0, fmt.Errorf("alpha=%v out of range (must be a positive finite number)", alpha)
+	}
+	return alpha, nil
+}
+
 func (s *Server) resolveH(h int) (int, error) {
 	if h == 0 {
 		return s.cfg.DefaultH, nil
@@ -318,14 +345,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	if req.Alpha == 0 {
-		req.Alpha = 0.2
+	alpha, err := resolveAlpha(req.Alpha)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	seed := uint64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
 	}
 	if req.Mode == "" {
 		req.Mode = "ti-csrm"
 	}
-	if req.Seed == 0 {
-		req.Seed = 1
+	// ε=0 is core's "engine default" sentinel; pin it here so an omitted
+	// ε and an explicit default produce the same cache key.
+	if req.Epsilon == 0 {
+		req.Epsilon = core.DefaultEpsilon
 	}
 	switch req.Mode {
 	case "ti-csrm", "ti-carm", "pagerank-gr", "pagerank-rr":
@@ -340,16 +375,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeDatasetError(w, err)
 		return
 	}
-	p := wb.Problem(kind, req.Alpha)
+	p := wb.Problem(kind, alpha)
 	opt := core.Options{
 		Epsilon:       req.Epsilon,
 		Window:        req.Window,
-		Seed:          req.Seed,
+		Seed:          seed,
 		MaxThetaPerAd: req.MaxThetaPerAd,
 		ShareSamples:  req.ShareSamples,
 	}
 	key := solveCacheKey("solve", s.cfg.Scale, s.cfg.DatasetSeed, req.Dataset,
-		h, kind, req.Alpha, p, req.Mode, opt, s.cfg.Workers, s.cfg.SampleBatch)
+		h, kind, alpha, p, req.Mode, opt, s.cfg.Workers, s.cfg.SampleBatch)
 	if !req.NoCache {
 		if body, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Add(1)
@@ -389,7 +424,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		alloc, stats, err = baseline.PageRankRR(ctx, eng, p, opt)
 	}
 	if err != nil {
-		s.writeSessionError(w, err, stats)
+		s.writeSessionError(ctx, w, err, stats)
 		return
 	}
 
@@ -398,9 +433,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Scale:        s.cfg.Scale.String(),
 		H:            h,
 		Incentive:    kind.String(),
-		Alpha:        req.Alpha,
+		Alpha:        alpha,
 		Mode:         req.Mode,
-		Seed:         req.Seed,
+		Seed:         seed,
 		Seeds:        alloc.Seeds,
 		Revenue:      alloc.Revenue,
 		SeedCost:     alloc.SeedCost,
@@ -441,8 +476,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	if req.Alpha == 0 {
-		req.Alpha = 0.2
+	alpha, err := resolveAlpha(req.Alpha)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	seed := uint64(1 ^ 0xabcdef)
+	if req.Seed != nil {
+		seed = *req.Seed
 	}
 	if len(req.Seeds) != h {
 		s.writeError(w, http.StatusBadRequest, ErrorResponse{
@@ -460,8 +501,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	if req.Workers == 0 {
 		req.Workers = 2
 	}
-	if req.Seed == 0 {
-		req.Seed = 1 ^ 0xabcdef
+	// Each worker is a goroutine with its own O(NumNodes) simulator;
+	// reject amplification instead of spawning runs/4 of them.
+	if req.Workers < 1 || req.Workers > s.cfg.MaxEvalWorkers {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("workers=%d out of range [1, %d]", req.Workers, s.cfg.MaxEvalWorkers)})
+		return
 	}
 
 	wb, err := s.workbench(req.Dataset, h)
@@ -469,9 +514,22 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		s.writeDatasetError(w, err)
 		return
 	}
-	p := wb.Problem(kind, req.Alpha)
+	// Client-supplied seed ids index per-node arrays inside the cascade
+	// workers; reject out-of-range ids with a 400 before they reach a
+	// goroutine that would panic past the handler's recover.
+	n := wb.Dataset.Graph.NumNodes()
+	for i, set := range req.Seeds {
+		for _, u := range set {
+			if u < 0 || u >= n {
+				s.writeError(w, http.StatusBadRequest, ErrorResponse{
+					Error: fmt.Sprintf("seeds[%d] contains node %d out of range [0, %d)", i, u, n)})
+				return
+			}
+		}
+	}
+	p := wb.Problem(kind, alpha)
 	key := evalCacheKey(s.cfg.Scale, s.cfg.DatasetSeed, req.Dataset, h, kind,
-		req.Alpha, p, req.Seeds, req.Runs, req.Workers, req.Seed)
+		alpha, p, req.Seeds, req.Runs, req.Workers, seed)
 	if !req.NoCache {
 		if body, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Add(1)
@@ -499,15 +557,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		SeedCost: make([]float64, h),
 		Payment:  make([]float64, h),
 	}
-	ev, err := wb.Engine().Evaluate(ctx, p, alloc, req.Runs, req.Workers, req.Seed)
+	ev, err := wb.Engine().Evaluate(ctx, p, alloc, req.Runs, req.Workers, seed)
 	if err != nil {
-		s.writeSessionError(w, err, nil)
+		s.writeSessionError(ctx, w, err, nil)
 		return
 	}
 	result := EvaluateResult{
 		Dataset:      req.Dataset,
 		Runs:         req.Runs,
-		Seed:         req.Seed,
+		Seed:         seed,
 		Spread:       ev.Spread,
 		Revenue:      ev.Revenue,
 		SeedCost:     ev.SeedCost,
@@ -560,9 +618,15 @@ func (s *Server) writeDatasetError(w http.ResponseWriter, err error) {
 	s.writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
 }
 
+// statusClientClosedRequest is nginx's conventional status for a client
+// that went away before the server answered; nobody receives the body,
+// but the code keeps access logs and the writeError accounting coherent.
+const statusClientClosedRequest = 499
+
 // rejectAdmission maps admission failures: a full queue answers 429
 // with a Retry-After hint, a deadline that fired while queued answers
-// 504, a drain-canceled wait answers 503.
+// 504, a drain-canceled wait answers 503, and a client that hung up
+// while queued is counted apart (it is not a server timeout).
 func (s *Server) rejectAdmission(w http.ResponseWriter, err error, timeout time.Duration) {
 	if errors.Is(err, errBusy) {
 		s.met.rejectedBusy.Add(1)
@@ -579,6 +643,11 @@ func (s *Server) rejectAdmission(w http.ResponseWriter, err error, timeout time.
 		s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining"})
 		return
 	}
+	if errors.Is(err, context.Canceled) {
+		s.met.clientDisconnects.Add(1)
+		s.writeError(w, statusClientClosedRequest, ErrorResponse{Error: "client closed request while queued"})
+		return
+	}
 	s.met.deadlineExceeded.Add(1)
 	s.writeError(w, http.StatusGatewayTimeout, ErrorResponse{
 		Error: fmt.Sprintf("request deadline (%v) exceeded while queued", timeout),
@@ -587,9 +656,11 @@ func (s *Server) rejectAdmission(w http.ResponseWriter, err error, timeout time.
 
 // writeSessionError maps engine failures from a started session.
 // Deadline-driven cancellation answers 504 with whatever partial stats
-// the engine returned; drain-driven cancellation answers 503; invalid
-// problems answer 400; the rest 500.
-func (s *Server) writeSessionError(w http.ResponseWriter, err error, stats *core.Stats) {
+// the engine returned; drain-driven cancellation answers 503; a client
+// that hung up mid-session is counted apart from deadlines; invalid
+// problems answer 400; the rest 500. ctx is the session context, used
+// to tell which of the three cancellation causes fired.
+func (s *Server) writeSessionError(ctx context.Context, w http.ResponseWriter, err error, stats *core.Stats) {
 	switch {
 	case errors.Is(err, core.ErrCanceled) || errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded):
@@ -597,6 +668,17 @@ func (s *Server) writeSessionError(w http.ResponseWriter, err error, stats *core
 			s.met.rejectedDraining.Add(1)
 			s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{
 				Error:        "session canceled: server is draining",
+				PartialStats: statsJSON(stats),
+			})
+			return
+		}
+		// The session context expires as DeadlineExceeded on a real
+		// timeout; plain Canceled (absent a drain) means the client went
+		// away — not a server timeout, so keep the 504 metric honest.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			s.met.clientDisconnects.Add(1)
+			s.writeError(w, statusClientClosedRequest, ErrorResponse{
+				Error:        "client closed request mid-session",
 				PartialStats: statsJSON(stats),
 			})
 			return

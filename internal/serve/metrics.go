@@ -21,6 +21,7 @@ type metrics struct {
 	rejectedBusy      atomic.Int64 // 429: queue full
 	rejectedDraining  atomic.Int64 // 503: drain in progress
 	deadlineExceeded  atomic.Int64 // 504: request deadline fired mid-session
+	clientDisconnects atomic.Int64 // 499: client hung up while queued or mid-session
 	requestErrors     atomic.Int64 // other 4xx/5xx
 	sessionsCompleted atomic.Int64 // sessions that produced a 200
 }
@@ -70,6 +71,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("rmserved_rejected_busy_total", "Requests rejected with 429 because the session queue was full.", s.met.rejectedBusy.Load())
 	counter("rmserved_rejected_draining_total", "Requests rejected with 503 during drain.", s.met.rejectedDraining.Load())
 	counter("rmserved_deadline_exceeded_total", "Sessions that hit their request deadline and returned 504.", s.met.deadlineExceeded.Load())
+	counter("rmserved_client_disconnects_total", "Requests abandoned by the client while queued or mid-session (not server timeouts).", s.met.clientDisconnects.Load())
 	counter("rmserved_request_errors_total", "Requests that failed for other reasons (bad input, unknown dataset, internal).", s.met.requestErrors.Load())
 
 	// Per-engine series, labeled by dataset and advertiser count.

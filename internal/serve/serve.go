@@ -90,6 +90,11 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxEvalRuns caps /v1/evaluate Monte-Carlo runs (default 100000).
 	MaxEvalRuns int
+	// MaxEvalWorkers caps /v1/evaluate's per-request simulation
+	// parallelism (default max(GOMAXPROCS, 2)); each evaluate worker is a
+	// goroutine with its own O(NumNodes) simulator, so an uncapped value
+	// would let one request amplify into arbitrary memory.
+	MaxEvalWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +136,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEvalRuns <= 0 {
 		c.MaxEvalRuns = 100_000
+	}
+	if c.MaxEvalWorkers <= 0 {
+		c.MaxEvalWorkers = runtime.GOMAXPROCS(0)
+		// Never below the request default (2), so a bare evaluate request
+		// is accepted even on a single-CPU box.
+		if c.MaxEvalWorkers < 2 {
+			c.MaxEvalWorkers = 2
+		}
 	}
 	return c
 }

@@ -47,6 +47,11 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
+// fp and up build the request pointer fields that distinguish an
+// explicit zero from an omitted value.
+func fp(v float64) *float64 { return &v }
+func up(v uint64) *uint64   { return &v }
+
 func postJSON(t *testing.T, url string, body interface{}) (*http.Response, []byte) {
 	t.Helper()
 	raw, err := json.Marshal(body)
@@ -114,7 +119,7 @@ func TestHealthAndDatasets(t *testing.T) {
 func TestSolveBitIdenticalToEngine(t *testing.T) {
 	_, ts := newTestServer(t, tinyConfig())
 
-	req := SolveRequest{Dataset: "flixster", H: 4, Mode: "ti-csrm", Seed: 3, Alpha: 0.2, Epsilon: 0.3, MaxThetaPerAd: 20000}
+	req := SolveRequest{Dataset: "flixster", H: 4, Mode: "ti-csrm", Seed: up(3), Alpha: fp(0.2), Epsilon: 0.3, MaxThetaPerAd: 20000}
 	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("solve: %d %s", resp.StatusCode, body)
@@ -156,7 +161,7 @@ func TestSolveBitIdenticalToEngine(t *testing.T) {
 func TestCacheHitBitIdentical(t *testing.T) {
 	_, ts := newTestServer(t, tinyConfig())
 
-	req := SolveRequest{Dataset: "flixster", Mode: "ti-carm", Seed: 5, Epsilon: 0.3, MaxThetaPerAd: 20000}
+	req := SolveRequest{Dataset: "flixster", Mode: "ti-carm", Seed: up(5), Epsilon: 0.3, MaxThetaPerAd: 20000}
 	cold, coldBody := postJSON(t, ts.URL+"/v1/solve", req)
 	if cold.StatusCode != http.StatusOK {
 		t.Fatalf("cold solve: %d %s", cold.StatusCode, coldBody)
@@ -208,7 +213,7 @@ func TestConcurrentSolves(t *testing.T) {
 			defer wg.Done()
 			// Half the clients repeat one request (exercising the result
 			// cache under contention), half solve distinct instances.
-			req := SolveRequest{Dataset: "flixster", H: 2, Mode: "ti-carm", Seed: uint64(1 + i%4), Epsilon: 0.3, MaxThetaPerAd: 20000}
+			req := SolveRequest{Dataset: "flixster", H: 2, Mode: "ti-carm", Seed: up(uint64(1 + i%4)), Epsilon: 0.3, MaxThetaPerAd: 20000}
 			resp, body := postJSONErr(ts.URL+"/v1/solve", req)
 			if resp == nil || resp.StatusCode != http.StatusOK {
 				errs <- fmt.Errorf("client %d: solve failed: %v %s", i, resp, body)
@@ -236,7 +241,7 @@ func TestConcurrentSolves(t *testing.T) {
 
 	// Determinism under concurrency: the same request twice more must
 	// agree (they are cache hits of bit-identical bodies by now).
-	req := SolveRequest{Dataset: "flixster", H: 2, Mode: "ti-carm", Seed: 1, Epsilon: 0.3, MaxThetaPerAd: 20000}
+	req := SolveRequest{Dataset: "flixster", H: 2, Mode: "ti-carm", Seed: up(1), Epsilon: 0.3, MaxThetaPerAd: 20000}
 	_, b1 := postJSON(t, ts.URL+"/v1/solve", req)
 	_, b2 := postJSON(t, ts.URL+"/v1/solve", req)
 	if !bytes.Equal(b1, b2) {
@@ -263,7 +268,7 @@ func postJSONErr(url string, body interface{}) (*http.Response, []byte) {
 func TestDeadlineExceeded(t *testing.T) {
 	_, ts := newTestServer(t, tinyConfig())
 
-	req := SolveRequest{Dataset: "epinions", H: 6, Seed: 7, TimeoutMS: 1}
+	req := SolveRequest{Dataset: "epinions", H: 6, Seed: up(7), TimeoutMS: 1}
 	resp, body := postJSON(t, ts.URL+"/v1/solve", req)
 	if resp.StatusCode != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504; body %s", resp.StatusCode, body)
@@ -344,14 +349,14 @@ func TestBackpressure429(t *testing.T) {
 	blockedDone := make(chan struct{})
 	go func() {
 		defer close(blockedDone)
-		resp, _ := postJSONErr(ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: 11, Epsilon: 0.3, MaxThetaPerAd: 20000})
+		resp, _ := postJSONErr(ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: up(11), Epsilon: 0.3, MaxThetaPerAd: 20000})
 		if resp == nil || resp.StatusCode != http.StatusOK {
 			t.Errorf("blocked solve finished with %v", resp)
 		}
 	}()
 	<-started
 
-	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: 12, Epsilon: 0.3, MaxThetaPerAd: 20000})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: up(12), Epsilon: 0.3, MaxThetaPerAd: 20000})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429; body %s", resp.StatusCode, body)
 	}
@@ -392,7 +397,7 @@ func TestGracefulDrain(t *testing.T) {
 	var inflightStatus int
 	go func() {
 		defer close(inflightDone)
-		resp, _ := postJSONErr(ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: 21, Epsilon: 0.3, MaxThetaPerAd: 20000})
+		resp, _ := postJSONErr(ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: up(21), Epsilon: 0.3, MaxThetaPerAd: 20000})
 		if resp != nil {
 			inflightStatus = resp.StatusCode
 		}
@@ -408,7 +413,7 @@ func TestGracefulDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("readyz during drain = %d, want 503", resp.StatusCode)
 	}
-	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: 22, Epsilon: 0.3, MaxThetaPerAd: 20000})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: up(22), Epsilon: 0.3, MaxThetaPerAd: 20000})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("new session during drain = %d, want 503; %s", resp.StatusCode, body)
 	}
@@ -449,7 +454,7 @@ func TestDrainDeadlineCancels(t *testing.T) {
 	var inflightStatus int
 	go func() {
 		defer close(inflightDone)
-		resp, _ := postJSONErr(ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: 31, Epsilon: 0.3, MaxThetaPerAd: 20000})
+		resp, _ := postJSONErr(ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: up(31), Epsilon: 0.3, MaxThetaPerAd: 20000})
 		if resp != nil {
 			inflightStatus = resp.StatusCode
 		}
@@ -482,7 +487,7 @@ func TestDrainDeadlineCancels(t *testing.T) {
 func TestEvaluateEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, tinyConfig())
 
-	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", Seed: 2, Epsilon: 0.3, MaxThetaPerAd: 20000})
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", Seed: up(2), Epsilon: 0.3, MaxThetaPerAd: 20000})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("solve: %d %s", resp.StatusCode, body)
 	}
@@ -491,7 +496,7 @@ func TestEvaluateEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	evReq := EvaluateRequest{Dataset: "flixster", Seeds: sr.Seeds, Runs: 500, Seed: 99}
+	evReq := EvaluateRequest{Dataset: "flixster", Seeds: sr.Seeds, Runs: 500, Seed: up(99)}
 	resp, body = postJSON(t, ts.URL+"/v1/evaluate", evReq)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("evaluate: %d %s", resp.StatusCode, body)
@@ -533,7 +538,7 @@ func TestEvaluateEndpoint(t *testing.T) {
 func TestMetricsExposition(t *testing.T) {
 	_, ts := newTestServer(t, tinyConfig())
 
-	req := SolveRequest{Dataset: "flixster", H: 2, Seed: 1, Epsilon: 0.3, MaxThetaPerAd: 20000}
+	req := SolveRequest{Dataset: "flixster", H: 2, Seed: up(1), Epsilon: 0.3, MaxThetaPerAd: 20000}
 	postJSON(t, ts.URL+"/v1/solve", req) // miss
 	postJSON(t, ts.URL+"/v1/solve", req) // hit
 
@@ -617,6 +622,180 @@ func TestWarm(t *testing.T) {
 	if err := s.Warm([]string{"nope"}, 2); err == nil {
 		t.Error("warming an unknown dataset succeeded")
 	}
+}
+
+// TestEvaluateSeedOutOfRange posts seed node ids outside the graph —
+// including the int32 extremes — and requires a 400, never a panic in a
+// simulation goroutine (which would kill the whole process).
+func TestEvaluateSeedOutOfRange(t *testing.T) {
+	_, ts := newTestServer(t, tinyConfig())
+
+	for _, seeds := range [][][]int32{
+		{{2147483647}},
+		{{-1}},
+		{{0, 1 << 30}},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{
+			Dataset: "flixster", H: 1, Seeds: seeds})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("seeds %v = %d, want 400; body %s", seeds, resp.StatusCode, body)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(er.Error, "out of range") {
+			t.Errorf("seeds %v error = %q, want an out-of-range message", seeds, er.Error)
+		}
+	}
+	// The server must still be alive and solving after the attempts.
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after bad evaluates: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestEvaluateWorkersCapped bounds the per-request simulation
+// parallelism: a request asking for thousands of workers is a 400, not
+// thousands of simulator goroutines.
+func TestEvaluateWorkersCapped(t *testing.T) {
+	s, ts := newTestServer(t, tinyConfig())
+
+	resp, body := postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{
+		Dataset: "flixster", H: 1, Seeds: [][]int32{{0}}, Workers: 25000})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("workers=25000 = %d, want 400; body %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, fmt.Sprintf("[1, %d]", s.Config().MaxEvalWorkers)) {
+		t.Errorf("error = %q, want the configured cap", er.Error)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/evaluate", EvaluateRequest{
+		Dataset: "flixster", H: 1, Seeds: [][]int32{{0}}, Workers: -3})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("workers=-3 = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestZeroAndOmittedParams pins the zero-vs-omitted contract: omitted
+// alpha/seed/epsilon normalize to the documented defaults before cache
+// keying (explicit defaults hit the same entry), while explicit zeros
+// are honored as real values.
+func TestZeroAndOmittedParams(t *testing.T) {
+	_, ts := newTestServer(t, tinyConfig())
+
+	// Omitted alpha, seed, epsilon…
+	omitted := SolveRequest{Dataset: "flixster", H: 2, MaxThetaPerAd: 20000}
+	cold, coldBody := postJSON(t, ts.URL+"/v1/solve", omitted)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("solve with omitted params: %d %s", cold.StatusCode, coldBody)
+	}
+	// …and the same request with every default spelled out must be the
+	// same cache entry, byte for byte.
+	explicit := SolveRequest{Dataset: "flixster", H: 2, MaxThetaPerAd: 20000,
+		Alpha: fp(0.2), Seed: up(1), Epsilon: core.DefaultEpsilon}
+	warm, warmBody := postJSON(t, ts.URL+"/v1/solve", explicit)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("solve with explicit defaults: %d %s", warm.StatusCode, warmBody)
+	}
+	if h := warm.Header.Get("X-RM-Cache"); h != "hit" {
+		t.Errorf("explicit defaults X-RM-Cache = %q, want hit (same key as omitted)", h)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Error("explicit-default response differs from omitted-default response")
+	}
+
+	// Seed 0 is a legitimate RNG seed, not a sentinel: it must solve and
+	// echo back exactly.
+	zero := SolveRequest{Dataset: "flixster", H: 2, MaxThetaPerAd: 20000,
+		Epsilon: 0.3, Seed: up(0)}
+	resp, body := postJSON(t, ts.URL+"/v1/solve", zero)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve with zero seed: %d %s", resp.StatusCode, body)
+	}
+	if h := resp.Header.Get("X-RM-Cache"); h != "miss" {
+		t.Errorf("zero seed X-RM-Cache = %q, want miss (distinct key)", h)
+	}
+	var sr SolveResult
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Seed != 0 {
+		t.Errorf("echoed seed=%d, want the explicit zero", sr.Seed)
+	}
+
+	// α must be a positive finite number (the incentive layer's
+	// contract); an explicit zero or negative is a clean 400, never the
+	// silent 0.2 rewrite — and never the incentive.Build panic.
+	for _, a := range []float64{0, -1} {
+		resp, body := postJSON(t, ts.URL+"/v1/solve",
+			SolveRequest{Dataset: "flixster", H: 2, Alpha: fp(a)})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("alpha=%v = %d, want 400; body %s", a, resp.StatusCode, body)
+		}
+		resp, _ = postJSON(t, ts.URL+"/v1/evaluate",
+			EvaluateRequest{Dataset: "flixster", H: 1, Seeds: [][]int32{{0}}, Alpha: fp(a)})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("evaluate alpha=%v = %d, want 400", a, resp.StatusCode)
+		}
+	}
+}
+
+// TestClientDisconnectWhileQueued cancels a queued request client-side
+// and requires the abort to land in the client-disconnect counter, not
+// the deadline-exceeded one (and not as a 504).
+func TestClientDisconnectWhileQueued(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxConcurrent = 1
+	cfg.MaxQueue = 8
+	s, ts := newTestServer(t, cfg)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookSolveStarted = func() {
+		once.Do(func() {
+			close(started)
+			<-release
+		})
+	}
+
+	blockedDone := make(chan struct{})
+	go func() {
+		defer close(blockedDone)
+		postJSONErr(ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", H: 2, Seed: up(41), Epsilon: 0.3, MaxThetaPerAd: 20000})
+	}()
+	<-started
+
+	// Queue a second session, then hang up on it.
+	raw, _ := json.Marshal(SolveRequest{Dataset: "flixster", H: 2, Seed: up(42), Epsilon: 0.3, MaxThetaPerAd: 20000})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/solve", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan struct{})
+	go func() {
+		defer close(clientDone)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			t.Error("canceled request returned a response")
+		}
+	}()
+	waitUntil(t, 5*time.Second, func() bool { return s.adm.queueDepth() == 1 })
+	cancel()
+	<-clientDone
+
+	waitUntil(t, 5*time.Second, func() bool { return s.met.clientDisconnects.Load() == 1 })
+	if got := s.met.deadlineExceeded.Load(); got != 0 {
+		t.Errorf("deadline_exceeded = %d after a client abort, want 0", got)
+	}
+	close(release)
+	<-blockedDone
 }
 
 func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
