@@ -193,8 +193,9 @@ func TestRMServedLifecycle(t *testing.T) {
 		t.Fatalf("solve = %d, body: %s", resp.StatusCode, body)
 	}
 	var result struct {
-		Dataset string    `json:"dataset"`
-		Seeds   [][]int32 `json:"seeds"`
+		Dataset    string    `json:"dataset"`
+		Generation uint64    `json:"generation"`
+		Seeds      [][]int32 `json:"seeds"`
 	}
 	if err := json.Unmarshal(body, &result); err != nil {
 		t.Fatalf("decoding solve result: %v", err)
@@ -202,6 +203,48 @@ func TestRMServedLifecycle(t *testing.T) {
 	if result.Dataset != "flixster" || len(result.Seeds) != 2 {
 		t.Fatalf("solve result = dataset %q with %d ad seed lists, want flixster with 2",
 			result.Dataset, len(result.Seeds))
+	}
+	if result.Generation != 0 {
+		t.Fatalf("pre-mutate solve generation = %d, want 0", result.Generation)
+	}
+
+	// Mutate → solve round trip: an (empty, always-valid) batched delta
+	// swaps the graph generation, and the next solve echoes it — the
+	// wire-level proof that the result cache cannot replay a pre-mutate
+	// answer.
+	resp, err = http.Post(base+"/v1/mutate", "application/json",
+		strings.NewReader(`{"dataset":"flixster","h":2}`))
+	if err != nil {
+		t.Fatalf("mutate: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate = %d, body: %s", resp.StatusCode, body)
+	}
+	var mutated struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &mutated); err != nil {
+		t.Fatalf("decoding mutate result: %v", err)
+	}
+	if mutated.Generation != 1 {
+		t.Fatalf("mutate generation = %d, want 1", mutated.Generation)
+	}
+	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(solve))
+	if err != nil {
+		t.Fatalf("post-mutate solve: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-mutate solve = %d, body: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &result); err != nil {
+		t.Fatalf("decoding post-mutate solve result: %v", err)
+	}
+	if result.Generation != 1 {
+		t.Fatalf("post-mutate solve generation = %d, want 1", result.Generation)
 	}
 
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {

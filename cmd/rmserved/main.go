@@ -10,6 +10,7 @@
 //
 //	curl -s localhost:7600/v1/datasets
 //	curl -s -XPOST localhost:7600/v1/solve -d '{"dataset":"flixster","h":4,"mode":"ti-csrm"}'
+//	curl -s -XPOST localhost:7600/v1/mutate -d '{"dataset":"flixster","add_edges":[{"u":1,"v":2}]}'
 //	curl -s localhost:7600/metrics
 //
 // On SIGTERM (or SIGINT) the daemon stops admitting sessions, finishes
@@ -50,6 +51,7 @@ var (
 	drainFl    = flag.Duration("drain", 30*time.Second, "SIGTERM drain deadline for in-flight sessions")
 	warmFlag   = flag.Bool("warm", false, "build engines for the -datasets list before listening")
 	maxEvalW   = flag.Int("max-eval-workers", 0, "cap on per-request /v1/evaluate parallelism (0 = max(GOMAXPROCS, 2))")
+	maxStale   = flag.Float64("max-stale", 0, "stale RR-set fraction tolerated before a /v1/mutate swap forces incremental repair (0 = always repair)")
 )
 
 func main() {
@@ -74,20 +76,21 @@ func run() error {
 		}
 	}
 	srv := serve.New(serve.Config{
-		Scale:          scale,
-		DatasetSeed:    *dsSeed,
-		Datasets:       names,
-		DefaultH:       *defaultH,
-		MaxH:           *maxH,
-		Workers:        *workers,
-		SampleBatch:    *batch,
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		DefaultTimeout: *timeoutFl,
-		MaxTimeout:     *maxTimeout,
-		CacheEntries:   *cacheSize,
-		DrainTimeout:   *drainFl,
-		MaxEvalWorkers: *maxEvalW,
+		Scale:            scale,
+		DatasetSeed:      *dsSeed,
+		Datasets:         names,
+		DefaultH:         *defaultH,
+		MaxH:             *maxH,
+		Workers:          *workers,
+		SampleBatch:      *batch,
+		MaxConcurrent:    *maxConc,
+		MaxQueue:         *maxQueue,
+		DefaultTimeout:   *timeoutFl,
+		MaxTimeout:       *maxTimeout,
+		CacheEntries:     *cacheSize,
+		DrainTimeout:     *drainFl,
+		MaxEvalWorkers:   *maxEvalW,
+		MaxStaleFraction: *maxStale,
 	})
 	if *warmFlag {
 		if err := srv.Warm(nil, 0); err != nil {

@@ -27,6 +27,11 @@ type (
 	// wire schema.
 	EvaluateAPIRequest = serve.EvaluateRequest
 	EvaluateAPIResult  = serve.EvaluateResult
+	// MutateAPIRequest / MutateAPIResult are the POST /v1/mutate wire
+	// schema: one batched graph delta swapped in atomically, answering
+	// with the new generation and RR-repair accounting.
+	MutateAPIRequest = serve.MutateRequest
+	MutateAPIResult  = serve.MutateResult
 	// APIError is the JSON body of every non-2xx answer.
 	APIError = serve.ErrorResponse
 )

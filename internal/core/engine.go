@@ -152,7 +152,11 @@ func (o *Options) withDefaults() Options {
 // (Figure 5, Table 3). A canceled solve returns its Stats alongside the
 // error, describing the partial work done before the abort.
 type Stats struct {
-	Mode         Mode
+	Mode Mode
+	// Generation is the graph generation the session ran on — the
+	// snapshot pinned at Solve entry, unchanged even if an ApplyDelta
+	// swapped the Engine mid-session.
+	Generation   uint64
 	Duration     time.Duration
 	Theta        []int     // final RR sample size per ad
 	Kpt          []float64 // final KPT estimate per ad
@@ -288,11 +292,15 @@ func (a *adState) payment() float64 { return a.pi + a.cost }
 // Engine's shared pool and caches.
 type solver struct {
 	eng *Engine
-	ctx context.Context
-	p   *Problem
-	opt Options
-	n   int32
-	m   int64
+	// snap is the generation snapshot pinned at Solve entry; every
+	// cache and pool access goes through it, never through the Engine's
+	// (possibly newer) current snapshot.
+	snap *snapshot
+	ctx  context.Context
+	p    *Problem
+	opt  Options
+	n    int32
+	m    int64
 	// pool is the Engine-wide sampling scratch pool: every ad's sampler
 	// and kptSrc stream — exclusive or shared — borrows its Workers
 	// slots, so sampler memory is O(Workers·n) per Engine.
@@ -347,12 +355,12 @@ func (e *solver) solve() (*Allocation, error) {
 			key := gammaKey(e.p.Ads[i].Gamma)
 			g, ok := byGamma[key]
 			if !ok {
-				probs := e.eng.edgeProbsFor(e.p.Ads[i].Gamma)
+				probs := e.snap.edgeProbsFor(e.p.Ads[i].Gamma)
 				// Seeds drawn in the same order the sequential code called
 				// rng.Split(), so Workers<=1 reproduces it bit for bit.
 				sSeed, kSeed := rng.Uint64(), rng.Uint64()
 				uk := universeKey{gamma: key, seed: sSeed}
-				sg, err := e.eng.lockSharedGroup(e.ctx, uk, probs)
+				sg, err := e.eng.lockSharedGroup(e.ctx, e.snap, uk, probs, e.p.Ads[i].Gamma)
 				if err != nil {
 					return nil, e.canceled(err)
 				}
@@ -481,7 +489,7 @@ func (e *solver) emitProgress(kind ProgressKind, ad *adState, node int32) {
 // probabilities, the initial KPT estimate at s=1, the initial RR sample
 // of size L(1, ε), and the candidate heap (Algorithm 2 lines 1–4).
 func (e *solver) initAd(i int, rng *xrand.RNG) (*adState, error) {
-	probs := e.eng.edgeProbsFor(e.p.Ads[i].Gamma)
+	probs := e.snap.edgeProbsFor(e.p.Ads[i].Gamma)
 	coll := rrset.NewCollection(e.n)
 	// Seeds drawn in the same order the sequential code called rng.Split(),
 	// so Workers<=1 reproduces it bit for bit.

@@ -23,4 +23,11 @@ var (
 	// context.Canceled / context.DeadlineExceeded, and the Stats returned
 	// alongside it describe the partial work done before the abort.
 	ErrCanceled = errors.New("solve canceled")
+
+	// ErrSwapInProgress marks an ApplyDelta rejected because another
+	// generation swap is still in flight: swaps never queue (conflicting
+	// deltas against an unknown base would be ambiguous), so callers
+	// retry once the active swap lands. The serving layer maps it to
+	// HTTP 409.
+	ErrSwapInProgress = errors.New("graph mutation already in progress")
 )

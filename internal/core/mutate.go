@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// DeltaResult summarizes one completed ApplyDelta generation swap.
+type DeltaResult struct {
+	// Generation is the new serving generation.
+	Generation uint64
+	// TouchedNodes is the number of distinct RR-relevant nodes (targets
+	// of mutated arcs) the delta touched.
+	TouchedNodes int
+	// InvalidatedSets counts RR sets across all carried universes that
+	// this delta newly marked stale.
+	InvalidatedSets int
+	// RepairedSets counts stale RR-set slots resampled during the swap
+	// (staleness above the Engine's MaxStaleFraction; may include marks
+	// accumulated from earlier tolerated deltas).
+	RepairedSets int
+	// CarriedUniverses / DroppedUniverses count cached universes moved
+	// into the new generation vs left behind because an in-flight
+	// session held them (or a failed session had marked them dead).
+	CarriedUniverses int
+	DroppedUniverses int
+}
+
+// ApplyDelta applies one batched graph mutation and atomically swaps
+// the Engine to the resulting generation. The swap builds a complete
+// successor snapshot — compiled graph (graph.ApplyDelta), rebound topic
+// model, fresh sampling pool, empty probability memo — and then carries
+// the cached RR-set universes forward: each unlocked cache entry is
+// invalidated against the delta's touched nodes (only sets containing a
+// mutated arc's target go stale), incrementally repaired if staleness
+// exceeds EngineOptions.MaxStaleFraction, and re-keyed into the new
+// generation with a fresh generation-mixed sampler stream. Entries
+// locked by in-flight sessions are left on the old snapshot — those
+// sessions finish on their pinned generation and the new generation
+// re-samples on demand.
+//
+// Invalid deltas reject with graph.ErrBadDelta and leave the Engine
+// untouched. A concurrent ApplyDelta rejects with ErrSwapInProgress
+// (swaps never queue). Cancellation via ctx is honored between carried
+// universes; an aborted swap leaves the old generation serving, at the
+// cost of the universes already carried (they become cold cache misses).
+func (e *Engine) ApplyDelta(ctx context.Context, d *graph.Delta) (*DeltaResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !e.swapMu.TryLock() {
+		return nil, fmt.Errorf("core: %w", ErrSwapInProgress)
+	}
+	defer e.swapMu.Unlock()
+
+	old := e.cur.Load()
+	ng, remap, err := old.graph.ApplyDelta(d)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	nm, err := old.model.Rebind(ng, remap, d.SetProbs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	next := newSnapshot(ng, nm, e.opts)
+	res := &DeltaResult{
+		Generation:   ng.Generation(),
+		TouchedNodes: len(remap.Touched),
+	}
+
+	// Carry the universe cache. Entries are TryLock'd: an entry held by
+	// an in-flight session is simply not carried — blocking the swap on
+	// a long solve would defeat the point of snapshot isolation.
+	old.mu.Lock()
+	keys := make([]universeKey, 0, len(old.universes))
+	groups := make([]*sharedGroup, 0, len(old.universes))
+	for k, sg := range old.universes {
+		keys = append(keys, k)
+		groups = append(groups, sg)
+	}
+	old.mu.Unlock()
+	for i, sg := range groups {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: %w: %w", ErrCanceled, err)
+		}
+		select {
+		case sg.lock <- struct{}{}:
+		default:
+			res.DroppedUniverses++
+			continue
+		}
+		if sg.dead {
+			<-sg.lock
+			res.DroppedUniverses++
+			continue
+		}
+		res.InvalidatedSets += sg.universe.Invalidate(remap.Touched)
+		probs := next.edgeProbsFor(sg.gamma)
+		if sg.universe.StaleCount() > 0 && sg.universe.StaleFraction() > e.opts.MaxStaleFraction {
+			res.RepairedSets += next.pool.RepairUniverse(sg.universe, probs, keys[i].seed)
+		}
+		carried := &sharedGroup{
+			lock:     make(chan struct{}, 1),
+			universe: sg.universe,
+			sampler:  next.pool.NewStream(probs, mixSeed(keys[i].seed, ng.Generation())),
+			gamma:    sg.gamma,
+		}
+		carried.bytes.Store(sg.universe.MemoryFootprint())
+		next.mu.Lock()
+		next.universes[keys[i]] = carried
+		next.mu.Unlock()
+		// Retire the old entry while still holding its lock: a late
+		// old-generation session must not lock the same universe through
+		// the old snapshot while a new-generation session samples into it.
+		// Retired entries read as dead, so such a session retries and
+		// builds itself a fresh (cold) entry in the old snapshot's map.
+		sg.dead = true
+		old.mu.Lock()
+		if cur, ok := old.universes[keys[i]]; ok && cur == sg {
+			delete(old.universes, keys[i])
+		}
+		old.mu.Unlock()
+		<-sg.lock
+		res.CarriedUniverses++
+	}
+
+	// Publish: in-flight sessions keep their pinned snapshot; problems
+	// built on `old` still resolve through prev until the next swap.
+	e.prev.Store(old)
+	e.cur.Store(next)
+	e.mutations.Add(1)
+	e.rrSetsInvalid.Add(int64(res.InvalidatedSets))
+	e.rrSetsRepaired.Add(int64(res.RepairedSets))
+	return res, nil
+}

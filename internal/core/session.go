@@ -27,13 +27,45 @@ type EngineOptions struct {
 	// Workers > 1 and the granularity of context-cancellation checks
 	// inside sampling.
 	SampleBatch int
+	// MaxStaleFraction bounds how much staleness a cached RR universe may
+	// carry across an ApplyDelta before the swap forces an incremental
+	// repair: a carried universe whose stale fraction exceeds the bound
+	// is repaired during the swap, one at or below it keeps its stale
+	// marks (accumulating across deltas) and its sets are served as-is.
+	// The default 0 repairs on any staleness — the conservative setting
+	// that keeps served samples exact; raise it to trade sample freshness
+	// for swap latency on rapidly mutating graphs. Values are clamped to
+	// [0, 1].
+	MaxStaleFraction float64
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}
+	if o.MaxStaleFraction < 0 {
+		o.MaxStaleFraction = 0
+	}
+	if o.MaxStaleFraction > 1 {
+		o.MaxStaleFraction = 1
+	}
 	return o
+}
+
+// seedMix is the splitmix64 increment used to derive decorrelated seeds
+// (per adaptive round, per graph generation) from a base seed.
+const seedMix = 0x9e3779b97f4a7c15
+
+// mixSeed folds the graph generation into a stream seed. Generation 0
+// returns the seed unchanged, preserving the historical bit-identity of
+// every static-graph test and cache; later generations decorrelate so a
+// carried universe's post-swap growth never re-consumes the RNG
+// sequence its pre-swap contents were drawn from.
+func mixSeed(seed, gen uint64) uint64 {
+	if gen == 0 {
+		return seed
+	}
+	return seed ^ gen*seedMix
 }
 
 // universeKey identifies one cross-solve shared RR-set universe: the
@@ -57,16 +89,90 @@ type sharedGroup struct {
 	lock     chan struct{}
 	universe *rrset.Universe
 	sampler  *rrset.Stream
+	// gamma is the entry's (unnormalized) topic distribution, kept so a
+	// generation swap can re-materialize edge probabilities on the new
+	// model when carrying the universe forward.
+	gamma topic.Distribution
 	// bytes caches universe.MemoryFootprint(), refreshed by the holding
 	// session after growth, so monitors (CachedUniverseBytes) can read a
 	// consistent size without touching universe internals that a
 	// concurrent session may be appending to.
 	bytes atomic.Int64
 	// dead marks an entry evicted after a canceled/failed solve left the
-	// sampler's deterministic replay misaligned; waiters re-fetch a fresh
-	// entry from the cache instead of using it. Written and read only
-	// while holding lock.
+	// sampler's deterministic replay misaligned, or carried into a newer
+	// generation by a swap; waiters re-fetch a fresh entry from the cache
+	// instead of using it. Written and read only while holding lock.
 	dead bool
+}
+
+// snapshot is one immutable graph generation plus every cache keyed by
+// it: the topic model, the sampling pool (whose scratch is sized by the
+// graph), memoized edge probabilities and the shared-universe cache.
+// Sessions pin a snapshot at entry and run on it to completion, so an
+// ApplyDelta swapping in a successor never perturbs in-flight work.
+type snapshot struct {
+	graph *graph.Graph
+	model *topic.Model
+	pool  *rrset.Pool
+
+	mu        sync.Mutex
+	probs     map[string][]float32
+	universes map[universeKey]*sharedGroup
+}
+
+func newSnapshot(g *graph.Graph, model *topic.Model, opts EngineOptions) *snapshot {
+	return &snapshot{
+		graph: g,
+		model: model,
+		pool: rrset.NewPool(g, rrset.PoolOptions{
+			Workers:   opts.Workers,
+			BatchSize: opts.SampleBatch,
+		}),
+		probs:     map[string][]float32{},
+		universes: map[universeKey]*sharedGroup{},
+	}
+}
+
+// edgeProbsFor returns the snapshot's memoized ad-specific arc
+// probabilities for a topic distribution, materializing them on first
+// use. The returned slice is shared and must be treated as immutable.
+func (sn *snapshot) edgeProbsFor(gamma topic.Distribution) []float32 {
+	key := gammaKey(gamma)
+	sn.mu.Lock()
+	ps, ok := sn.probs[key]
+	sn.mu.Unlock()
+	if ok {
+		return ps
+	}
+	ps = sn.model.EdgeProbs(gamma)
+	sn.mu.Lock()
+	if prev, ok := sn.probs[key]; ok {
+		ps = prev // a concurrent solve won the materialization race
+	} else {
+		sn.probs[key] = ps
+	}
+	sn.mu.Unlock()
+	return ps
+}
+
+// evictSharedGroups removes cache entries whose deterministic replay a
+// failed solve has invalidated (cancellation can abandon drawn-but-
+// unmerged samples, desynchronizing sampler and universe). The caller
+// must hold each entry's lock. Entries are removed only if the map still
+// points at the very instance the caller holds — after a Reset, a fresh
+// healthy entry may live under the same key and must survive a stale
+// session's eviction.
+func (sn *snapshot) evictSharedGroups(keys []universeKey, groups []*sharedGroup) {
+	for _, sg := range groups {
+		sg.dead = true
+	}
+	sn.mu.Lock()
+	for i, k := range keys {
+		if cur, ok := sn.universes[k]; ok && cur == groups[i] {
+			delete(sn.universes, k)
+		}
+	}
+	sn.mu.Unlock()
 }
 
 // Engine is a long-lived, concurrent-safe solver session factory for one
@@ -75,7 +181,8 @@ type sharedGroup struct {
 // Evaluate calls, concurrently if desired:
 //
 //   - the RR-sampling scratch pool (Workers visited arrays, O(Workers·n)
-//     bytes total) is allocated once and shared by every call;
+//     bytes total) is allocated once per graph generation and shared by
+//     every call;
 //   - ad-specific edge-probability vectors are memoized per normalized
 //     topic distribution, so repeated solves over the same advertisers
 //     skip the O(m) materialization;
@@ -85,20 +192,29 @@ type sharedGroup struct {
 //     already drew, growing them only when a session needs more. Prefix
 //     views keep cache hits bit-identical to a cold run.
 //
+// The graph is mutable through ApplyDelta (mutate.go): each delta
+// compiles into a fresh immutable snapshot — graph, rebound topic
+// model, pool and caches — swapped in atomically. Sessions pin the
+// snapshot their Problem was built against (current or one swap old) at
+// entry and finish on it, so mutation never races in-flight work.
+//
 // Every method honors context cancellation and returns sentinel errors
-// (ErrInvalidProblem, ErrInfeasible, ErrCanceled) instead of panicking.
-// The legacy free functions (TICSRM, TICARM, Run) remain as thin
-// wrappers over a throwaway Engine and reproduce historical results bit
-// for bit.
+// (ErrInvalidProblem, ErrInfeasible, ErrCanceled, ErrSwapInProgress)
+// instead of panicking. The legacy free functions (TICSRM, TICARM, Run)
+// remain as thin wrappers over a throwaway Engine and reproduce
+// historical results bit for bit.
 type Engine struct {
-	graph *graph.Graph
-	model *topic.Model
-	opts  EngineOptions
-	pool  *rrset.Pool
+	opts EngineOptions
 
-	mu        sync.Mutex
-	probs     map[string][]float32
-	universes map[universeKey]*sharedGroup
+	// cur is the serving snapshot; prev keeps exactly one older
+	// generation alive so a Problem built just before a swap still
+	// resolves. Both only ever transition under swapMu.
+	cur  atomic.Pointer[snapshot]
+	prev atomic.Pointer[snapshot]
+	// swapMu serializes ApplyDelta. It is only ever TryLock'd — a swap
+	// arriving while another is in flight fails fast with
+	// ErrSwapInProgress instead of queueing conflicting generations.
+	swapMu sync.Mutex
 
 	// Cumulative per-solve counters (see EngineCounters). Atomics so a
 	// monitoring endpoint can read them while solves are in flight.
@@ -109,6 +225,9 @@ type Engine struct {
 	rrSetsSampled   atomic.Int64
 	universeHits    atomic.Int64
 	universeMisses  atomic.Int64
+	mutations       atomic.Int64
+	rrSetsInvalid   atomic.Int64
+	rrSetsRepaired  atomic.Int64
 }
 
 // EngineCounters is a snapshot of an Engine's cumulative work across all
@@ -131,6 +250,12 @@ type EngineCounters struct {
 	// cache lookups by ShareSamples sessions (a miss creates the entry).
 	UniverseCacheHits   int64
 	UniverseCacheMisses int64
+	// Mutations counts completed ApplyDelta generation swaps.
+	Mutations int64
+	// RRSetsInvalidated / RRSetsRepaired count RR sets marked stale by
+	// generation swaps and stale slots resampled during swaps.
+	RRSetsInvalidated int64
+	RRSetsRepaired    int64
 }
 
 // Counters returns a consistent-enough snapshot of the Engine's
@@ -146,6 +271,9 @@ func (e *Engine) Counters() EngineCounters {
 		RRSetsSampled:       e.rrSetsSampled.Load(),
 		UniverseCacheHits:   e.universeHits.Load(),
 		UniverseCacheMisses: e.universeMisses.Load(),
+		Mutations:           e.mutations.Load(),
+		RRSetsInvalidated:   e.rrSetsInvalid.Load(),
+		RRSetsRepaired:      e.rrSetsRepaired.Load(),
 	}
 }
 
@@ -155,128 +283,128 @@ func (e *Engine) Counters() EngineCounters {
 // Options.Workers/SampleBatch are ignored).
 func NewEngine(g *graph.Graph, model *topic.Model, opts EngineOptions) *Engine {
 	opts = opts.withDefaults()
-	return &Engine{
-		graph: g,
-		model: model,
-		opts:  opts,
-		pool: rrset.NewPool(g, rrset.PoolOptions{
-			Workers:   opts.Workers,
-			BatchSize: opts.SampleBatch,
-		}),
-		probs:     map[string][]float32{},
-		universes: map[universeKey]*sharedGroup{},
-	}
+	e := &Engine{opts: opts}
+	e.cur.Store(newSnapshot(g, model, opts))
+	return e
 }
+
+// Current returns the Engine's serving graph and topic model — the
+// coordinates new Problems must be built against. After an ApplyDelta
+// these are the swapped-in generation; Problems built on the previous
+// generation remain solvable until the next swap.
+func (e *Engine) Current() (*graph.Graph, *topic.Model) {
+	sn := e.cur.Load()
+	return sn.graph, sn.model
+}
+
+// Generation returns the serving graph generation: 0 until the first
+// ApplyDelta, then monotonically increasing.
+func (e *Engine) Generation() uint64 { return e.cur.Load().graph.Generation() }
 
 // Workers returns the Engine's resolved sampling-worker count.
-func (e *Engine) Workers() int { return e.pool.Workers() }
+func (e *Engine) Workers() int { return e.cur.Load().pool.Workers() }
 
 // SamplerMemoryBytes returns the high-water scratch footprint of the
-// Engine's shared sampling pool, O(Workers·n) for the Engine's lifetime.
-func (e *Engine) SamplerMemoryBytes() int64 { return e.pool.MemoryFootprint() }
+// current generation's sampling pool, O(Workers·n).
+func (e *Engine) SamplerMemoryBytes() int64 { return e.cur.Load().pool.MemoryFootprint() }
 
 // CachedUniverses returns the number of RR-set universes currently held
-// by the cross-solve cache (grown by ShareSamples solves).
+// by the current generation's cross-solve cache (grown by ShareSamples
+// solves, carried across ApplyDelta swaps while unlocked).
 func (e *Engine) CachedUniverses() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.universes)
+	sn := e.cur.Load()
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return len(sn.universes)
 }
 
-// CachedUniverseBytes returns the heap footprint of the cross-solve
-// universe cache (as of each universe's last completed growth — safe to
-// call while solves are in flight). Universes only grow; call Reset to
-// release them.
+// CachedUniverseBytes returns the heap footprint of the current
+// generation's universe cache (as of each universe's last completed
+// growth — safe to call while solves are in flight). Universes only
+// grow; call Reset to release them.
 func (e *Engine) CachedUniverseBytes() int64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sn := e.cur.Load()
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
 	var total int64
-	for _, sg := range e.universes {
+	for _, sg := range sn.universes {
 		total += sg.bytes.Load()
 	}
 	return total
 }
 
-// universeKeys snapshots the keys currently in the universe cache.
+// universeKeys snapshots the keys currently in the current generation's
+// universe cache.
 func (e *Engine) universeKeys() map[universeKey]bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	keys := make(map[universeKey]bool, len(e.universes))
-	for k := range e.universes {
+	sn := e.cur.Load()
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	keys := make(map[universeKey]bool, len(sn.universes))
+	for k := range sn.universes {
 		keys[k] = true
 	}
 	return keys
 }
 
-// evictUniversesExcept drops every cache entry whose key is not in keep —
-// used by the adaptive loop to discard its one-shot per-round universes.
-// Entries are healthy (not marked dead); a session still holding one
-// simply keeps its orphaned reference until it finishes.
+// evictUniversesExcept drops every current-generation cache entry whose
+// key is not in keep — used by the adaptive loop to discard its
+// one-shot per-round universes. Entries are healthy (not marked dead);
+// a session still holding one simply keeps its orphaned reference until
+// it finishes.
 func (e *Engine) evictUniversesExcept(keep map[universeKey]bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for k := range e.universes {
+	sn := e.cur.Load()
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	for k := range sn.universes {
 		if !keep[k] {
-			delete(e.universes, k)
+			delete(sn.universes, k)
 		}
 	}
 }
 
-// Reset drops the Engine's memoized edge probabilities and cached RR-set
-// universes (sessions already holding a cache entry keep it until they
-// finish). The scratch pool is retained. Use it to bound memory on an
-// Engine that has served many distinct seeds or topic mixes.
+// Reset drops the current generation's memoized edge probabilities and
+// cached RR-set universes (sessions already holding a cache entry keep
+// it until they finish). The scratch pool is retained. Use it to bound
+// memory on an Engine that has served many distinct seeds or topic
+// mixes.
 func (e *Engine) Reset() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.probs = map[string][]float32{}
-	e.universes = map[universeKey]*sharedGroup{}
+	sn := e.cur.Load()
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	sn.probs = map[string][]float32{}
+	sn.universes = map[universeKey]*sharedGroup{}
 }
 
-// edgeProbsFor returns the memoized ad-specific arc probabilities for a
-// topic distribution, materializing them on first use. The returned
-// slice is shared and must be treated as immutable.
+// edgeProbsFor memoizes against the current generation — the
+// convenience entry the adaptive loop uses between rounds; sessions use
+// their pinned snapshot's method instead.
 func (e *Engine) edgeProbsFor(gamma topic.Distribution) []float32 {
-	key := gammaKey(gamma)
-	e.mu.Lock()
-	ps, ok := e.probs[key]
-	e.mu.Unlock()
-	if ok {
-		return ps
-	}
-	ps = e.model.EdgeProbs(gamma)
-	e.mu.Lock()
-	if prev, ok := e.probs[key]; ok {
-		ps = prev // a concurrent solve won the materialization race
-	} else {
-		e.probs[key] = ps
-	}
-	e.mu.Unlock()
-	return ps
+	return e.cur.Load().edgeProbsFor(gamma)
 }
 
-// lockSharedGroup checks out (creating on miss) the cached universe for
-// the key and returns it with its lock held; a waiter queued behind a
-// long-running same-key session abandons with the context's error
-// instead of parking past its deadline. Deadlock-free under concurrent
-// solves: a solve acquires entries in first-occurrence ad order, and
-// because stream seeds are drawn positionally from the solve seed, two
-// solves sharing any two entries necessarily assign them the same
-// positions — hence acquire them in the same order.
-func (e *Engine) lockSharedGroup(ctx context.Context, key universeKey, probs []float32) (*sharedGroup, error) {
+// lockSharedGroup checks out (creating on miss) the snapshot's cached
+// universe for the key and returns it with its lock held; a waiter
+// queued behind a long-running same-key session abandons with the
+// context's error instead of parking past its deadline. Deadlock-free
+// under concurrent solves: a solve acquires entries in first-occurrence
+// ad order, and because stream seeds are drawn positionally from the
+// solve seed, two solves sharing any two entries necessarily assign
+// them the same positions — hence acquire them in the same order.
+func (e *Engine) lockSharedGroup(ctx context.Context, sn *snapshot, key universeKey, probs []float32, gamma topic.Distribution) (*sharedGroup, error) {
 	first := true
 	for {
-		e.mu.Lock()
-		sg, ok := e.universes[key]
+		sn.mu.Lock()
+		sg, ok := sn.universes[key]
 		if !ok {
 			sg = &sharedGroup{
 				lock:     make(chan struct{}, 1),
-				universe: rrset.NewUniverse(e.graph.NumNodes()),
-				sampler:  e.pool.NewStream(probs, key.seed),
+				universe: rrset.NewUniverse(sn.graph.NumNodes()),
+				sampler:  sn.pool.NewStream(probs, mixSeed(key.seed, sn.graph.Generation())),
+				gamma:    append(topic.Distribution(nil), gamma...),
 			}
-			e.universes[key] = sg
+			sn.universes[key] = sg
 		}
-		e.mu.Unlock()
+		sn.mu.Unlock()
 		if first {
 			first = false
 			if ok {
@@ -297,24 +425,19 @@ func (e *Engine) lockSharedGroup(ctx context.Context, key universeKey, probs []f
 	}
 }
 
-// evictSharedGroups removes cache entries whose deterministic replay a
-// failed solve has invalidated (cancellation can abandon drawn-but-
-// unmerged samples, desynchronizing sampler and universe). The caller
-// must hold each entry's lock. Entries are removed only if the map still
-// points at the very instance the caller holds — after a Reset, a fresh
-// healthy entry may live under the same key and must survive a stale
-// session's eviction.
-func (e *Engine) evictSharedGroups(keys []universeKey, groups []*sharedGroup) {
-	for _, sg := range groups {
-		sg.dead = true
+// snapshotFor resolves the snapshot a problem was built against: the
+// current generation, or the immediately previous one (a session that
+// built its problem just before a swap still completes on its own
+// snapshot). Anything older — or a foreign graph/model — rejects with
+// ErrInvalidProblem.
+func (e *Engine) snapshotFor(p *Problem) (*snapshot, error) {
+	if sn := e.cur.Load(); sn != nil && p.Graph == sn.graph && p.Model == sn.model {
+		return sn, nil
 	}
-	e.mu.Lock()
-	for i, k := range keys {
-		if cur, ok := e.universes[k]; ok && cur == groups[i] {
-			delete(e.universes, k)
-		}
+	if sn := e.prev.Load(); sn != nil && p.Graph == sn.graph && p.Model == sn.model {
+		return sn, nil
 	}
-	e.mu.Unlock()
+	return nil, fmt.Errorf("core: %w: problem built on a different graph/model than this Engine (or a generation more than one swap old)", ErrInvalidProblem)
 }
 
 // Solve runs one allocation session on the Engine. It validates the
@@ -325,34 +448,41 @@ func (e *Engine) evictSharedGroups(keys []universeKey, groups []*sharedGroup) {
 // allocation (ErrInfeasible). Concurrent Solve calls on one Engine are
 // race-free; for a fixed Options.Seed the allocation is bit-identical to
 // the legacy one-shot entry points at the Engine's Workers/SampleBatch.
+//
+// The session pins the snapshot its problem resolves to (Stats records
+// the generation) and completes on it even if ApplyDelta swaps in a new
+// generation mid-solve.
 func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocation, *Stats, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	e.solvesStarted.Add(1)
 	opt = opt.withDefaults()
-	opt.Workers = e.pool.Workers()
-	opt.SampleBatch = e.pool.BatchSize()
-	if err := e.validateSolve(p, opt); err != nil {
+	sn, err := e.validateSolve(p, opt)
+	if err != nil {
 		e.solvesFailed.Add(1)
 		return nil, nil, err
 	}
+	opt.Workers = sn.pool.Workers()
+	opt.SampleBatch = sn.pool.BatchSize()
 	start := time.Now()
 	s := &solver{
 		eng:      e,
+		snap:     sn,
 		ctx:      ctx,
 		p:        p,
 		opt:      opt,
 		n:        p.Graph.NumNodes(),
 		m:        p.Graph.NumEdges(),
-		pool:     e.pool,
+		pool:     sn.pool,
 		assigned: make([]bool, p.Graph.NumNodes()),
 		stats: &Stats{
 			Mode:          opt.Mode,
+			Generation:    sn.graph.Generation(),
 			Theta:         make([]int, p.NumAds()),
 			Kpt:           make([]float64, p.NumAds()),
 			SeedCounts:    make([]int, p.NumAds()),
-			SampleWorkers: e.pool.Workers(),
+			SampleWorkers: sn.pool.Workers(),
 		},
 	}
 	// Deferred cleanup so that even a panic escaping the solve (e.g. from
@@ -362,7 +492,7 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 	completed := false
 	defer func() {
 		if !completed {
-			e.evictSharedGroups(s.lockedKeys, s.locked)
+			sn.evictSharedGroups(s.lockedKeys, s.locked)
 		}
 		s.releaseGroups()
 	}()
@@ -386,44 +516,45 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 	return alloc, s.stats, nil
 }
 
-// checkOwnership rejects a problem built on a different graph or topic
-// model than this Engine — the shared guard of every Engine method.
+// checkOwnership rejects a problem built on a graph or topic model this
+// Engine is not serving (neither current nor one swap old) — the shared
+// guard of every Engine method.
 func (e *Engine) checkOwnership(p *Problem) error {
-	if p.Graph != e.graph || p.Model != e.model {
-		return fmt.Errorf("core: %w: problem built on a different graph/model than this Engine", ErrInvalidProblem)
-	}
-	return nil
+	_, err := e.snapshotFor(p)
+	return err
 }
 
 // validateSolve checks everything the solve path used to assume (or
 // panic on): a well-formed problem built on this Engine's graph and
 // model, options inside their domain, and consistent auxiliary inputs.
-func (e *Engine) validateSolve(p *Problem, opt Options) error {
+// On success it returns the snapshot the session will run on.
+func (e *Engine) validateSolve(p *Problem, opt Options) (*snapshot, error) {
 	if err := p.Validate(); err != nil {
-		return fmt.Errorf("core: %w: %w", ErrInvalidProblem, err)
+		return nil, fmt.Errorf("core: %w: %w", ErrInvalidProblem, err)
 	}
-	if err := e.checkOwnership(p); err != nil {
-		return err
+	sn, err := e.snapshotFor(p)
+	if err != nil {
+		return nil, err
 	}
 	switch opt.Mode {
 	case ModeCostAgnostic, ModeCostSensitive, ModePRGreedy, ModePRRoundRobin:
 	default:
-		return fmt.Errorf("core: %w: unknown mode %d", ErrInvalidProblem, int(opt.Mode))
+		return nil, fmt.Errorf("core: %w: unknown mode %d", ErrInvalidProblem, int(opt.Mode))
 	}
 	if opt.Epsilon <= 0 || opt.Ell <= 0 {
-		return fmt.Errorf("core: %w: epsilon and ell must be positive (got ε=%v, ℓ=%v)",
+		return nil, fmt.Errorf("core: %w: epsilon and ell must be positive (got ε=%v, ℓ=%v)",
 			ErrInvalidProblem, opt.Epsilon, opt.Ell)
 	}
 	if opt.Window < 0 || opt.MaxThetaPerAd < 1 {
-		return fmt.Errorf("core: %w: window must be ≥ 0 and maxTheta ≥ 1", ErrInvalidProblem)
+		return nil, fmt.Errorf("core: %w: window must be ≥ 0 and maxTheta ≥ 1", ErrInvalidProblem)
 	}
 	if opt.Mode == ModePRGreedy || opt.Mode == ModePRRoundRobin {
 		if len(opt.PRScores) != p.NumAds() {
-			return fmt.Errorf("core: %w: PageRank mode needs PRScores for all %d ads", ErrInvalidProblem, p.NumAds())
+			return nil, fmt.Errorf("core: %w: PageRank mode needs PRScores for all %d ads", ErrInvalidProblem, p.NumAds())
 		}
 		for i, scores := range opt.PRScores {
 			if int64(len(scores)) != int64(p.Graph.NumNodes()) {
-				return fmt.Errorf("core: %w: PRScores[%d] covers %d nodes, graph has %d",
+				return nil, fmt.Errorf("core: %w: PRScores[%d] covers %d nodes, graph has %d",
 					ErrInvalidProblem, i, len(scores), p.Graph.NumNodes())
 			}
 		}
@@ -431,29 +562,30 @@ func (e *Engine) validateSolve(p *Problem, opt Options) error {
 	n := p.Graph.NumNodes()
 	for _, v := range opt.ForbiddenNodes {
 		if v < 0 || v >= n {
-			return fmt.Errorf("core: %w: forbidden node %d out of range", ErrInvalidProblem, v)
+			return nil, fmt.Errorf("core: %w: forbidden node %d out of range", ErrInvalidProblem, v)
 		}
 	}
 	if opt.ExcludedNodes != nil {
 		if len(opt.ExcludedNodes) != p.NumAds() {
-			return fmt.Errorf("core: %w: ExcludedNodes has %d entries for %d ads",
+			return nil, fmt.Errorf("core: %w: ExcludedNodes has %d entries for %d ads",
 				ErrInvalidProblem, len(opt.ExcludedNodes), p.NumAds())
 		}
 		for i, excl := range opt.ExcludedNodes {
 			for _, v := range excl {
 				if v < 0 || v >= n {
-					return fmt.Errorf("core: %w: excluded node %d out of range for ad %d",
+					return nil, fmt.Errorf("core: %w: excluded node %d out of range for ad %d",
 						ErrInvalidProblem, v, i)
 				}
 			}
 		}
 	}
-	return nil
+	return sn, nil
 }
 
 // Evaluate scores an allocation with fresh Monte-Carlo simulation (runs
-// cascades per ad, split across workers), using the Engine's memoized
-// edge probabilities. Cancellation is honored between advertisers.
+// cascades per ad, split across workers), using the pinned snapshot's
+// memoized edge probabilities. Cancellation is honored between
+// advertisers.
 func (e *Engine) Evaluate(ctx context.Context, p *Problem, a *Allocation, runs, workers int, seed uint64) (*Evaluation, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -461,7 +593,8 @@ func (e *Engine) Evaluate(ctx context.Context, p *Problem, a *Allocation, runs, 
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w: %w", ErrInvalidProblem, err)
 	}
-	if err := e.checkOwnership(p); err != nil {
+	sn, err := e.snapshotFor(p)
+	if err != nil {
 		return nil, err
 	}
 	if a == nil || len(a.Seeds) != p.NumAds() {
@@ -481,7 +614,7 @@ func (e *Engine) Evaluate(ctx context.Context, p *Problem, a *Allocation, runs, 
 	}
 	e.evaluations.Add(1)
 	return evaluateMC(ctx, p, a, runs, workers, seed, func(i int) []float32 {
-		return e.edgeProbsFor(p.Ads[i].Gamma)
+		return sn.edgeProbsFor(p.Ads[i].Gamma)
 	})
 }
 

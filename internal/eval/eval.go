@@ -104,6 +104,11 @@ type Params struct {
 	// rrset.DefaultBatchSize); part of the determinism key for
 	// SampleWorkers > 1.
 	SampleBatch int
+	// MaxStaleFraction is the engine's bounded-staleness knob for dynamic
+	// graphs: cached RR universes carried across a graph mutation are
+	// incrementally repaired only when their stale fraction exceeds this
+	// bound (0 = repair on any staleness, the exact default).
+	MaxStaleFraction float64
 	// AlphaPoints is the number of α grid points per incentive model
 	// (default 5, as in Figures 2–3).
 	AlphaPoints int
@@ -157,14 +162,15 @@ func (w *Workbench) Engine() *core.Engine { return w.eng }
 // Workbench: two NewWorkbench calls agreeing on these fields get the
 // same (immutable, concurrency-safe) workbench back.
 type workbenchKey struct {
-	dataset       string
-	scale         gen.Scale
-	seed          uint64
-	h             int
-	singletonRuns int
-	workers       int
-	sampleWorkers int
-	sampleBatch   int
+	dataset          string
+	scale            gen.Scale
+	seed             uint64
+	h                int
+	singletonRuns    int
+	workers          int
+	sampleWorkers    int
+	sampleBatch      int
+	maxStaleFraction float64
 }
 
 var workbenchCache = struct {
@@ -196,14 +202,15 @@ func ResetWorkbenchCache() {
 func NewWorkbench(name string, params Params) (*Workbench, error) {
 	params = params.withDefaults()
 	key := workbenchKey{
-		dataset:       name,
-		scale:         params.Scale,
-		seed:          params.Seed,
-		h:             params.H,
-		singletonRuns: params.SingletonRuns,
-		workers:       params.Workers,
-		sampleWorkers: params.SampleWorkers,
-		sampleBatch:   params.SampleBatch,
+		dataset:          name,
+		scale:            params.Scale,
+		seed:             params.Seed,
+		h:                params.H,
+		singletonRuns:    params.SingletonRuns,
+		workers:          params.Workers,
+		sampleWorkers:    params.SampleWorkers,
+		sampleBatch:      params.SampleBatch,
+		maxStaleFraction: params.MaxStaleFraction,
 	}
 	workbenchCache.Lock()
 	defer workbenchCache.Unlock()
@@ -227,8 +234,9 @@ func buildWorkbench(name string, params Params) (*Workbench, error) {
 	ds := src.Dataset
 	w := &Workbench{Params: params, Dataset: ds, Model: src.Model}
 	w.eng = core.NewEngine(ds.Graph, w.Model, core.EngineOptions{
-		Workers:     params.SampleWorkers,
-		SampleBatch: params.SampleBatch,
+		Workers:          params.SampleWorkers,
+		SampleBatch:      params.SampleBatch,
+		MaxStaleFraction: params.MaxStaleFraction,
 	})
 	l := w.Model.NumTopics()
 
@@ -311,7 +319,10 @@ func buildWorkbench(name string, params Params) (*Workbench, error) {
 // Problem materializes an RM instance with the given incentive model and
 // scale α (the paper's values, used unscaled — the incentive formulas are
 // functions of singleton spreads, which do not shrink with the scale
-// factor).
+// factor). The instance is built against the engine's current graph
+// generation, so problems stay solvable on a workbench whose graph has
+// been mutated through Engine().ApplyDelta (singleton spreads and
+// budgets are not re-derived — they describe the initial graph).
 //
 // Budgets are the workbench's scaled Table 2 draws, floored at 1.5 times
 // the cheapest possible first-seed payment min_u ρ_i({u}). This enforces
@@ -350,7 +361,8 @@ func (w *Workbench) Problem(kind incentive.Kind, alpha float64) *core.Problem {
 			ads[i].Budget = floor
 		}
 	}
-	return &core.Problem{Graph: w.Dataset.Graph, Model: w.Model, Ads: ads, Incentives: incs}
+	g, m := w.eng.Current()
+	return &core.Problem{Graph: g, Model: m, Ads: ads, Incentives: incs}
 }
 
 // RunResult is the outcome of one (algorithm, problem) run, scored by the
@@ -402,8 +414,9 @@ func RunAlgorithm(ctx context.Context, eng *core.Engine, p *core.Problem, alg Al
 	}
 	if eng == nil {
 		eng = core.NewEngine(p.Graph, p.Model, core.EngineOptions{
-			Workers:     params.SampleWorkers,
-			SampleBatch: params.SampleBatch,
+			Workers:          params.SampleWorkers,
+			SampleBatch:      params.SampleBatch,
+			MaxStaleFraction: params.MaxStaleFraction,
 		})
 	}
 	opt := core.Options{

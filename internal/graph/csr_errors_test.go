@@ -1,0 +1,114 @@
+package graph
+
+import "testing"
+
+// validCSR returns out-CSR arrays for the diamond graph, as a mutable
+// starting point for the corruption table below.
+func validCSR() (int32, []int64, []int32) {
+	return 4, []int64{0, 2, 3, 4, 4}, []int32{1, 2, 3, 3}
+}
+
+func TestFromCSRErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		n    int32
+		off  []int64
+		tgt  []int32
+	}{
+		{"negative node count", -1, []int64{0}, nil},
+		{"offsets wrong length", 4, []int64{0, 2, 3, 4}, []int32{1, 2, 3, 3}},
+		{"offsets start nonzero", 4, []int64{1, 2, 3, 4, 4}, []int32{1, 2, 3, 3}},
+		{"offsets end mismatch", 4, []int64{0, 2, 3, 4, 5}, []int32{1, 2, 3, 3}},
+		{"offsets decrease", 4, []int64{0, 3, 2, 4, 4}, []int32{1, 2, 3, 3}},
+		{"offset beyond targets", 2, []int64{0, 9, 1}, []int32{1}},
+		{"row not sorted", 4, []int64{0, 2, 3, 4, 4}, []int32{2, 1, 3, 3}},
+		{"row duplicate", 4, []int64{0, 2, 3, 4, 4}, []int32{1, 1, 3, 3}},
+		{"self-loop", 4, []int64{0, 2, 3, 4, 4}, []int32{0, 2, 3, 3}},
+		{"target out of range", 4, []int64{0, 2, 3, 4, 4}, []int32{1, 9, 3, 3}},
+		{"target negative", 4, []int64{0, 2, 3, 4, 4}, []int32{-1, 2, 3, 3}},
+	}
+	for _, tc := range cases {
+		if _, err := FromCSR(tc.n, tc.off, tc.tgt); err == nil {
+			t.Errorf("%s: FromCSR accepted corrupt arrays", tc.name)
+		}
+	}
+	n, off, tgt := validCSR()
+	if _, err := FromCSR(n, off, tgt); err != nil {
+		t.Fatalf("valid arrays rejected: %v", err)
+	}
+}
+
+func TestFromCSRArraysErrors(t *testing.T) {
+	n, off, tgt := validCSR()
+	g, err := FromCSR(n, off, tgt)
+	if err != nil {
+		t.Fatalf("FromCSR: %v", err)
+	}
+	inOff, inSrc, inIDs := g.InCSR()
+
+	clone64 := func(s []int64) []int64 { return append([]int64(nil), s...) }
+	clone32 := func(s []int32) []int32 { return append([]int32(nil), s...) }
+
+	cases := []struct {
+		name string
+		mut  func(io []int64, is, ie []int32) ([]int64, []int32, []int32)
+	}{
+		{"in-offsets wrong length", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			return io[:len(io)-1], is, ie
+		}},
+		{"in-offsets start nonzero", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			io[0] = 1
+			return io, is, ie
+		}},
+		{"in-offsets end short of edge count", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			io[len(io)-1] = 2
+			return io, is, ie
+		}},
+		{"in-offsets decrease", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			// Swap two interior offsets, keeping io[0]=0 and the final
+			// offset at m so the decrease check itself fires.
+			io[1], io[2] = io[2]+1, io[1]
+			return io, is, ie
+		}},
+		{"in-sources short", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			return io, is[:len(is)-1], ie
+		}},
+		{"in-edge-ids short", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			return io, is, ie[:len(ie)-1]
+		}},
+		{"in-source out of range", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			is[0] = 9
+			return io, is, ie
+		}},
+		{"in-source negative", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			is[0] = -1
+			return io, is, ie
+		}},
+		{"in-edge-id out of range", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			ie[0] = 99
+			return io, is, ie
+		}},
+		{"in-edge-id negative", func(io []int64, is, ie []int32) ([]int64, []int32, []int32) {
+			ie[0] = -1
+			return io, is, ie
+		}},
+	}
+	for _, tc := range cases {
+		io, is, ie := tc.mut(clone64(inOff), clone32(inSrc), clone32(inIDs))
+		if _, err := FromCSRArrays(n, off, tgt, io, is, ie); err == nil {
+			t.Errorf("%s: FromCSRArrays accepted corrupt arrays", tc.name)
+		}
+	}
+	// The untouched mirror round-trips: a decrease in the in-offsets check
+	// above must not be masked by the out-CSR validation.
+	if _, err := FromCSRArrays(n, off, tgt, clone64(inOff), clone32(inSrc), clone32(inIDs)); err != nil {
+		t.Fatalf("valid mirror rejected: %v", err)
+	}
+	// Corrupt out-CSR still rejects through the shared validator.
+	badOff := clone64(off)
+	badOff[1] = 3
+	badOff[2] = 2
+	if _, err := FromCSRArrays(n, badOff, tgt, clone64(inOff), clone32(inSrc), clone32(inIDs)); err == nil {
+		t.Error("FromCSRArrays accepted decreasing out-offsets")
+	}
+}

@@ -1,0 +1,265 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadDelta is wrapped by every ApplyDelta rejection: endpoints out of
+// range, self-loops, duplicate operations within a batch, adding an arc
+// that already exists, removing or re-weighting one that does not.
+// Dispatch with errors.Is. A rejected delta leaves the receiver graph
+// untouched (it is immutable; ApplyDelta only ever builds a successor).
+var ErrBadDelta = errors.New("graph: bad delta")
+
+// Edge is one directed arc (U, V): V follows U, influence flows U -> V.
+type Edge struct {
+	U, V int32
+}
+
+// ProbUpdate re-weights one arc in one latent topic: after the delta is
+// applied, p^Topic_{U,V} = P. The arc must exist in the delta's result
+// graph, so a batch may insert an arc and weight it in the same Delta.
+// The graph layer validates structure (arc existence, P ∈ [0,1],
+// Topic ≥ 0); the topic model's Rebind additionally checks Topic < L.
+type ProbUpdate struct {
+	U, V  int32
+	Topic int
+	P     float32
+}
+
+// Delta is one batched graph mutation: arc insertions, arc removals and
+// per-topic probability updates, applied atomically by ApplyDelta. The
+// node set is fixed — dense node IDs are the contract every downstream
+// array (probabilities, scratch, coverage) is sized by — so growth is
+// modeled by pre-allocating isolated nodes at dataset build time. An
+// empty Delta is valid and produces a structurally identical successor
+// with a bumped generation (useful as an explicit cache-busting tick).
+type Delta struct {
+	AddEdges    []Edge
+	RemoveEdges []Edge
+	SetProbs    []ProbUpdate
+}
+
+// Empty reports whether the delta contains no operations.
+func (d *Delta) Empty() bool {
+	return d == nil || len(d.AddEdges)+len(d.RemoveEdges)+len(d.SetProbs) == 0
+}
+
+// EdgeRemap describes how a successor graph's canonical edge IDs relate
+// to its predecessor's, so per-edge attribute arrays (topic probability
+// tensors) can be carried across an ApplyDelta without recomputation.
+type EdgeRemap struct {
+	// NewToOld[e] is the predecessor edge ID of the successor's edge e,
+	// or -1 for an arc inserted by the delta.
+	NewToOld []int64
+	// Touched lists, sorted ascending and deduplicated, the TARGETS of
+	// every arc the delta inserted, removed or re-weighted. These are
+	// exactly the nodes whose presence in a reverse-reachable set makes
+	// that set stale: an RR set's reverse BFS examines only the in-arcs
+	// of its members, so a set not containing V can never have observed
+	// any arc (U, V).
+	Touched []int32
+}
+
+// Generation returns the graph's generation number: 0 for any directly
+// constructed graph, predecessor+1 for an ApplyDelta successor. It is
+// carried by the graph itself so that cache keys derived from a Problem
+// can never disagree with the snapshot that solved it.
+func (g *Graph) Generation() uint64 { return g.generation }
+
+// EdgeID returns the canonical edge ID of arc (u, v), or ok=false when
+// the arc does not exist. O(log outdeg(u)).
+func (g *Graph) EdgeID(u, v int32) (int64, bool) {
+	if u < 0 || u >= g.n {
+		return -1, false
+	}
+	nb := g.OutNeighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	if i < len(nb) && nb[i] == v {
+		return g.outOff[u] + int64(i), true
+	}
+	return -1, false
+}
+
+// sortEdges sorts a copy of es by (U, V) and rejects batch-internal
+// duplicates — a duplicate insert would build a non-strictly-increasing
+// CSR row, and a duplicate remove would double-delete one arc.
+func sortEdges(op string, es []Edge, n int32) ([]Edge, error) {
+	out := make([]Edge, len(es))
+	copy(out, es)
+	for _, e := range out {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("%w: %s (%d,%d) out of range [0,%d)", ErrBadDelta, op, e.U, e.V, n)
+		}
+		if e.U == e.V {
+			return nil, fmt.Errorf("%w: %s (%d,%d) is a self-loop", ErrBadDelta, op, e.U, e.V)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			return nil, fmt.Errorf("%w: duplicate %s (%d,%d)", ErrBadDelta, op, out[i].U, out[i].V)
+		}
+	}
+	return out, nil
+}
+
+// ApplyDelta compiles the delta against the receiver into a fresh
+// immutable successor Graph with Generation()+1, leaving the receiver
+// untouched. The whole batch validates or nothing applies: inserting an
+// existing arc, removing a missing one, or re-weighting a missing one
+// (after inserts/removes) rejects with ErrBadDelta. The returned
+// EdgeRemap maps successor edge IDs to predecessor IDs (for carrying
+// per-edge attributes) and lists the touched targets (for invalidating
+// reverse-reachable sets). Cost is O(n + m + |delta| log |delta|) — a
+// single sorted merge per adjacency row, no overlay indirection left
+// behind: successors sample at full CSR speed.
+func (g *Graph) ApplyDelta(d *Delta) (*Graph, *EdgeRemap, error) {
+	if d == nil {
+		d = &Delta{}
+	}
+	n := g.n
+	adds, err := sortEdges("add", d.AddEdges, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	rems, err := sortEdges("remove", d.RemoveEdges, n)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	newM := int64(len(g.outTargets)) + int64(len(adds)) - int64(len(rems))
+	if newM < 0 {
+		newM = 0 // a remove below will fail; avoid a negative allocation
+	}
+	newOff := make([]int64, n+1)
+	newTargets := make([]int32, 0, newM)
+	newToOld := make([]int64, 0, newM)
+	ai, ri := 0, 0
+	for u := int32(0); u < n; u++ {
+		newOff[u] = int64(len(newTargets))
+		e, hi := g.outOff[u], g.outOff[u+1]
+		for e < hi || (ai < len(adds) && adds[ai].U == u) {
+			oldV := int32(-1)
+			if e < hi {
+				oldV = g.outTargets[e]
+			}
+			if ai < len(adds) && adds[ai].U == u && (e >= hi || adds[ai].V <= oldV) {
+				if e < hi && adds[ai].V == oldV {
+					return nil, nil, fmt.Errorf("%w: add (%d,%d) already exists", ErrBadDelta, u, oldV)
+				}
+				newTargets = append(newTargets, adds[ai].V)
+				newToOld = append(newToOld, -1)
+				ai++
+				continue
+			}
+			// Existing arc (u, oldV). A pending remove sorted before it
+			// references an arc that does not exist.
+			if ri < len(rems) && rems[ri].U == u && rems[ri].V < oldV {
+				return nil, nil, fmt.Errorf("%w: remove (%d,%d) does not exist", ErrBadDelta, u, rems[ri].V)
+			}
+			if ri < len(rems) && rems[ri].U == u && rems[ri].V == oldV {
+				ri++
+				e++
+				continue // dropped
+			}
+			newTargets = append(newTargets, oldV)
+			newToOld = append(newToOld, e)
+			e++
+		}
+		if ri < len(rems) && rems[ri].U == u {
+			return nil, nil, fmt.Errorf("%w: remove (%d,%d) does not exist", ErrBadDelta, u, rems[ri].V)
+		}
+	}
+	newOff[n] = int64(len(newTargets))
+
+	// Rebuild through the validating constructor: the merge above upholds
+	// the CSR invariants by construction, so a failure here is a bug in
+	// this file — surfaced as-is (not ErrBadDelta) so the fuzz harness
+	// distinguishes a rejected input from an inconsistent compile.
+	ng, err := FromCSR(n, newOff, newTargets)
+	if err != nil {
+		return nil, nil, fmt.Errorf("graph: delta compiled an invalid CSR: %w", err)
+	}
+	ng.generation = g.generation + 1
+
+	// Probability updates are validated against the successor, so a batch
+	// may insert an arc and weight it atomically.
+	if err := validateProbUpdates(ng, d.SetProbs); err != nil {
+		return nil, nil, err
+	}
+
+	remap := &EdgeRemap{
+		NewToOld: newToOld,
+		Touched:  touchedTargets(adds, rems, d.SetProbs),
+	}
+	return ng, remap, nil
+}
+
+// validateProbUpdates checks every probability update structurally:
+// finite P in [0,1], non-negative topic, arc present in the successor,
+// no duplicate (U, V, Topic) in one batch.
+func validateProbUpdates(ng *Graph, ups []ProbUpdate) error {
+	if len(ups) == 0 {
+		return nil
+	}
+	sorted := make([]ProbUpdate, len(ups))
+	copy(sorted, ups)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].U != sorted[j].U {
+			return sorted[i].U < sorted[j].U
+		}
+		if sorted[i].V != sorted[j].V {
+			return sorted[i].V < sorted[j].V
+		}
+		return sorted[i].Topic < sorted[j].Topic
+	})
+	for i, up := range sorted {
+		if up.Topic < 0 {
+			return fmt.Errorf("%w: set-prob (%d,%d) topic %d is negative", ErrBadDelta, up.U, up.V, up.Topic)
+		}
+		p64 := float64(up.P)
+		if math.IsNaN(p64) || p64 < 0 || p64 > 1 {
+			return fmt.Errorf("%w: set-prob (%d,%d) probability %v outside [0,1]", ErrBadDelta, up.U, up.V, up.P)
+		}
+		if _, ok := ng.EdgeID(up.U, up.V); !ok {
+			return fmt.Errorf("%w: set-prob (%d,%d) arc does not exist after edits", ErrBadDelta, up.U, up.V)
+		}
+		if i > 0 && sorted[i-1].U == up.U && sorted[i-1].V == up.V && sorted[i-1].Topic == up.Topic {
+			return fmt.Errorf("%w: duplicate set-prob (%d,%d) topic %d", ErrBadDelta, up.U, up.V, up.Topic)
+		}
+	}
+	return nil
+}
+
+// touchedTargets collects the sorted, deduplicated targets of every
+// modified arc — see EdgeRemap.Touched for why targets suffice.
+func touchedTargets(adds, rems []Edge, ups []ProbUpdate) []int32 {
+	ts := make([]int32, 0, len(adds)+len(rems)+len(ups))
+	for _, e := range adds {
+		ts = append(ts, e.V)
+	}
+	for _, e := range rems {
+		ts = append(ts, e.V)
+	}
+	for _, up := range ups {
+		ts = append(ts, up.V)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	w := 0
+	for i, v := range ts {
+		if i == 0 || v != ts[i-1] {
+			ts[w] = v
+			w++
+		}
+	}
+	return ts[:w]
+}

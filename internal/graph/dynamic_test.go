@@ -1,0 +1,261 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func edgeSet(g *Graph) map[Edge]bool {
+	s := make(map[Edge]bool)
+	g.Edges(func(u, v int32, _ int64) bool {
+		s[Edge{u, v}] = true
+		return true
+	})
+	return s
+}
+
+func TestApplyDeltaBasic(t *testing.T) {
+	g := buildDiamond() // 0->1, 0->2, 1->3, 2->3
+	ng, remap, err := g.ApplyDelta(&Delta{
+		AddEdges:    []Edge{{3, 0}, {0, 3}},
+		RemoveEdges: []Edge{{1, 3}},
+		SetProbs:    []ProbUpdate{{U: 0, V: 3, Topic: 0, P: 0.5}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if got := ng.Generation(); got != 1 {
+		t.Fatalf("Generation = %d, want 1", got)
+	}
+	if g.Generation() != 0 {
+		t.Fatal("receiver generation mutated")
+	}
+	want := map[Edge]bool{{0, 1}: true, {0, 2}: true, {0, 3}: true, {2, 3}: true, {3, 0}: true}
+	if got := edgeSet(ng); len(got) != len(want) {
+		t.Fatalf("edge set = %v, want %v", got, want)
+	} else {
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("edge set = %v, want %v", got, want)
+			}
+		}
+	}
+	// Receiver untouched.
+	if g.NumEdges() != 4 || !g.HasEdge(1, 3) || g.HasEdge(0, 3) {
+		t.Fatal("ApplyDelta mutated the receiver graph")
+	}
+	// Remap: every surviving edge maps back to the old ID of the same arc;
+	// inserted arcs map to -1.
+	if int64(len(remap.NewToOld)) != ng.NumEdges() {
+		t.Fatalf("NewToOld has %d entries for %d edges", len(remap.NewToOld), ng.NumEdges())
+	}
+	ng.Edges(func(u, v int32, e int64) bool {
+		old := remap.NewToOld[e]
+		inserted := (u == 3 && v == 0) || (u == 0 && v == 3)
+		if inserted {
+			if old != -1 {
+				t.Errorf("inserted arc (%d,%d) maps to old ID %d, want -1", u, v, old)
+			}
+			return true
+		}
+		ou, ov := g.EdgeEndpoints(old)
+		if ou != u || ov != v {
+			t.Errorf("arc (%d,%d) maps to old arc (%d,%d)", u, v, ou, ov)
+		}
+		return true
+	})
+	// Touched: targets of {3,0},{0,3},{1,3},setprob(0,3) = {0, 3}.
+	if len(remap.Touched) != 2 || remap.Touched[0] != 0 || remap.Touched[1] != 3 {
+		t.Fatalf("Touched = %v, want [0 3]", remap.Touched)
+	}
+}
+
+func TestApplyDeltaEmpty(t *testing.T) {
+	g := buildDiamond()
+	ng, remap, err := g.ApplyDelta(&Delta{})
+	if err != nil {
+		t.Fatalf("ApplyDelta(empty): %v", err)
+	}
+	if ng.Generation() != 1 {
+		t.Fatalf("Generation = %d, want 1", ng.Generation())
+	}
+	if len(remap.Touched) != 0 {
+		t.Fatalf("Touched = %v, want empty", remap.Touched)
+	}
+	for e := range remap.NewToOld {
+		if remap.NewToOld[e] != int64(e) {
+			t.Fatalf("NewToOld[%d] = %d, want identity", e, remap.NewToOld[e])
+		}
+	}
+	// Chained generations are monotone.
+	ng2, _, err := ng.ApplyDelta(nil)
+	if err != nil {
+		t.Fatalf("ApplyDelta(nil): %v", err)
+	}
+	if ng2.Generation() != 2 {
+		t.Fatalf("Generation = %d, want 2", ng2.Generation())
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	g := buildDiamond()
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"add out of range", Delta{AddEdges: []Edge{{0, 4}}}},
+		{"add negative", Delta{AddEdges: []Edge{{-1, 0}}}},
+		{"add self-loop", Delta{AddEdges: []Edge{{2, 2}}}},
+		{"add duplicate in batch", Delta{AddEdges: []Edge{{3, 0}, {3, 0}}}},
+		{"add existing", Delta{AddEdges: []Edge{{0, 1}}}},
+		{"remove out of range", Delta{RemoveEdges: []Edge{{4, 0}}}},
+		{"remove duplicate in batch", Delta{RemoveEdges: []Edge{{0, 1}, {0, 1}}}},
+		{"remove missing", Delta{RemoveEdges: []Edge{{3, 1}}}},
+		{"remove missing before row edges", Delta{RemoveEdges: []Edge{{1, 0}}}},
+		{"set-prob missing arc", Delta{SetProbs: []ProbUpdate{{U: 3, V: 1, P: 0.1}}}},
+		{"set-prob removed arc", Delta{RemoveEdges: []Edge{{0, 1}}, SetProbs: []ProbUpdate{{U: 0, V: 1, P: 0.1}}}},
+		{"set-prob negative topic", Delta{SetProbs: []ProbUpdate{{U: 0, V: 1, Topic: -1, P: 0.1}}}},
+		{"set-prob NaN", Delta{SetProbs: []ProbUpdate{{U: 0, V: 1, P: float32(math.NaN())}}}},
+		{"set-prob above one", Delta{SetProbs: []ProbUpdate{{U: 0, V: 1, P: 1.5}}}},
+		{"set-prob negative", Delta{SetProbs: []ProbUpdate{{U: 0, V: 1, P: -0.5}}}},
+		{"set-prob duplicate", Delta{SetProbs: []ProbUpdate{{U: 0, V: 1, P: 0.1}, {U: 0, V: 1, P: 0.2}}}},
+	}
+	for _, tc := range cases {
+		ng, remap, err := g.ApplyDelta(&tc.d)
+		if err == nil {
+			t.Errorf("%s: ApplyDelta succeeded, want ErrBadDelta", tc.name)
+			continue
+		}
+		if !errors.Is(err, ErrBadDelta) {
+			t.Errorf("%s: error %v is not ErrBadDelta", tc.name, err)
+		}
+		if ng != nil || remap != nil {
+			t.Errorf("%s: non-nil result alongside error", tc.name)
+		}
+	}
+}
+
+func TestApplyDeltaAddThenWeight(t *testing.T) {
+	g := buildDiamond()
+	// Inserting an arc and weighting it in the same batch is legal.
+	ng, _, err := g.ApplyDelta(&Delta{
+		AddEdges: []Edge{{3, 1}},
+		SetProbs: []ProbUpdate{{U: 3, V: 1, Topic: 2, P: 0.9}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if !ng.HasEdge(3, 1) {
+		t.Fatal("inserted arc missing")
+	}
+}
+
+func TestEdgeID(t *testing.T) {
+	g := buildDiamond()
+	g.Edges(func(u, v int32, e int64) bool {
+		id, ok := g.EdgeID(u, v)
+		if !ok || id != e {
+			t.Errorf("EdgeID(%d,%d) = (%d,%v), want (%d,true)", u, v, id, ok, e)
+		}
+		return true
+	})
+	if _, ok := g.EdgeID(3, 1); ok {
+		t.Error("EdgeID found a missing arc")
+	}
+	if _, ok := g.EdgeID(-1, 0); ok {
+		t.Error("EdgeID accepted a negative source")
+	}
+	if _, ok := g.EdgeID(7, 0); ok {
+		t.Error("EdgeID accepted an out-of-range source")
+	}
+}
+
+// FuzzApplyDelta feeds arbitrary op streams against a small fixed graph:
+// every batch must either apply cleanly (and the successor must satisfy
+// the full CSR invariants and equal the set-semantics of the batch) or
+// reject with ErrBadDelta — never panic, never compile an inconsistent
+// graph.
+func FuzzApplyDelta(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3, 0, 128})           // add (3,0)
+	f.Add([]byte{1, 0, 1, 0})             // remove (0,1)
+	f.Add([]byte{2, 0, 1, 255})           // set-prob (0,1) = 1.0
+	f.Add([]byte{0, 1, 1, 9})             // self-loop add
+	f.Add([]byte{0, 3, 0, 1, 0, 3, 0, 1}) // duplicate add
+	f.Fuzz(func(t *testing.T, data []byte) {
+		base := buildDiamond()
+		var d Delta
+		for i := 0; i+3 < len(data); i += 4 {
+			// Decode without range-clamping U/V so out-of-range and
+			// negative endpoints exercise the validation paths too.
+			u := int32(int8(data[i+1]))
+			v := int32(int8(data[i+2]))
+			switch data[i] % 3 {
+			case 0:
+				d.AddEdges = append(d.AddEdges, Edge{u, v})
+			case 1:
+				d.RemoveEdges = append(d.RemoveEdges, Edge{u, v})
+			case 2:
+				d.SetProbs = append(d.SetProbs, ProbUpdate{
+					U: u, V: v,
+					Topic: int(data[i+3] % 4),
+					P:     float32(data[i+3]) / 255,
+				})
+			}
+		}
+		ng, remap, err := base.ApplyDelta(&d)
+		if err != nil {
+			if !errors.Is(err, ErrBadDelta) {
+				t.Fatalf("non-sentinel error: %v", err)
+			}
+			return
+		}
+		// Clean apply: the successor must pass the validating constructors
+		// on its own arrays.
+		outOff, outTargets := ng.CSR()
+		inOff, inSources, inEdgeIDs := ng.InCSR()
+		if _, verr := FromCSRArrays(ng.NumNodes(), outOff, outTargets, inOff, inSources, inEdgeIDs); verr != nil {
+			t.Fatalf("successor violates CSR invariants: %v", verr)
+		}
+		if ng.Generation() != base.Generation()+1 {
+			t.Fatalf("Generation = %d, want %d", ng.Generation(), base.Generation()+1)
+		}
+		// Set semantics: new edges = old ∪ adds \ removes. A clean apply
+		// guarantees adds were absent and removes present, so plain map
+		// updates reproduce the expected set.
+		want := edgeSet(base)
+		for _, e := range d.AddEdges {
+			want[e] = true
+		}
+		for _, e := range d.RemoveEdges {
+			delete(want, e)
+		}
+		got := edgeSet(ng)
+		if len(got) != len(want) {
+			t.Fatalf("edge count %d, want %d", len(got), len(want))
+		}
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("edge %v missing from successor", e)
+			}
+		}
+		if int64(len(remap.NewToOld)) != ng.NumEdges() {
+			t.Fatalf("NewToOld length %d, want %d", len(remap.NewToOld), ng.NumEdges())
+		}
+		ng.Edges(func(u, v int32, e int64) bool {
+			if old := remap.NewToOld[e]; old >= 0 {
+				ou, ov := base.EdgeEndpoints(old)
+				if ou != u || ov != v {
+					t.Fatalf("NewToOld[%d] maps (%d,%d) to old arc (%d,%d)", e, u, v, ou, ov)
+				}
+			}
+			return true
+		})
+		for i := 1; i < len(remap.Touched); i++ {
+			if remap.Touched[i-1] >= remap.Touched[i] {
+				t.Fatalf("Touched not strictly sorted: %v", remap.Touched)
+			}
+		}
+	})
+}

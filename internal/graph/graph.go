@@ -34,6 +34,11 @@ type Graph struct {
 	inOff     []int64
 	inSources []int32
 	inEdgeIDs []int32
+
+	// generation counts ApplyDelta applications: 0 for any directly
+	// constructed graph, predecessor+1 for each delta successor. See
+	// Generation in dynamic.go.
+	generation uint64
 }
 
 // NumNodes returns the number of nodes.

@@ -40,6 +40,13 @@ type Universe struct {
 	data    []int32
 	offsets []uint32 // set id -> start in data; len = Size()+1
 	idx     nodeIndex
+
+	// Staleness bookkeeping for incremental repair under graph deltas:
+	// stale marks slots whose sets may have observed a mutated arc (see
+	// Invalidate), nStale counts them. Repair resamples exactly those
+	// slots in place.
+	stale  bitset
+	nStale int
 }
 
 // NewUniverse creates an empty universe over n nodes.
@@ -56,6 +63,7 @@ func (u *Universe) Add(set []int32) {
 	u.data = append(u.data, set...)
 	u.offsets = grow(u.offsets, 1)
 	u.offsets = append(u.offsets, uint32(len(u.data)))
+	u.stale.appendZero()
 	for _, v := range set {
 		u.idx.push(v, id)
 	}
@@ -75,6 +83,11 @@ func (u *Universe) AddFrom(s *Sampler, count int) {
 // Size returns the number of stored sets.
 func (u *Universe) Size() int { return len(u.offsets) - 1 }
 
+// NumSetsContaining returns how many stored sets contain v — the
+// inverted-index degree of the node, and the per-node cost bound of
+// Invalidate.
+func (u *Universe) NumSetsContaining(v int32) int32 { return u.idx.deg[v] }
+
 // Set returns the member nodes of set id. The slice aliases the arena;
 // treat it as a read-only transient.
 func (u *Universe) Set(id int32) []int32 {
@@ -82,9 +95,106 @@ func (u *Universe) Set(id int32) []int32 {
 }
 
 // MemoryFootprint returns the universe's heap bytes (arena, offsets,
-// index) in O(1).
+// index, staleness bitset) in O(1).
 func (u *Universe) MemoryFootprint() int64 {
-	return int64(cap(u.data))*4 + int64(cap(u.offsets))*4 + u.idx.bytes()
+	return int64(cap(u.data))*4 + int64(cap(u.offsets))*4 + u.idx.bytes() + u.stale.bytes()
+}
+
+// Invalidate marks every stored set containing any of the touched nodes
+// as stale, walking the inverted index — exactly the query the index
+// answers in O(sets containing v) per node. Touched nodes should be the
+// TARGETS of mutated arcs (graph.EdgeRemap.Touched): an RR set's
+// reverse BFS examines only the in-arcs of its members, so a set not
+// containing a mutated arc's target can never have observed that arc
+// and stays valid verbatim. Returns how many sets became newly stale;
+// already-stale sets and out-of-range nodes are ignored, so Invalidate
+// accumulates across successive deltas until Repair runs.
+func (u *Universe) Invalidate(touched []int32) int {
+	newly := 0
+	for _, v := range touched {
+		if v < 0 || v >= u.n {
+			continue
+		}
+		it := u.idx.iter(v)
+		for id, ok := it.next(); ok; id, ok = it.next() {
+			if !u.stale.get(id) {
+				u.stale.set(id)
+				newly++
+			}
+		}
+	}
+	u.nStale += newly
+	return newly
+}
+
+// InvalidateAll marks every stored set stale, returning how many were
+// newly marked. Equivalent to (and tested against) a full rebuild once
+// Repair runs.
+func (u *Universe) InvalidateAll() int {
+	newly := 0
+	for id := int32(0); int(id) < u.Size(); id++ {
+		if !u.stale.get(id) {
+			u.stale.set(id)
+			newly++
+		}
+	}
+	u.nStale += newly
+	return newly
+}
+
+// StaleCount returns the number of sets currently marked stale.
+func (u *Universe) StaleCount() int { return u.nStale }
+
+// StaleFraction returns StaleCount()/Size(), or 0 for an empty universe.
+func (u *Universe) StaleFraction() float64 {
+	if u.Size() == 0 {
+		return 0
+	}
+	return float64(u.nStale) / float64(u.Size())
+}
+
+// Repair resamples every stale slot in place: sample is called once per
+// stale slot (ascending), appending the replacement set's members onto
+// dst and returning the extended slice. Fresh slots keep their exact
+// bytes; the arena is recompacted and the inverted index rebuilt, so
+// afterwards the universe is indistinguishable from one whose slots
+// were all sampled with the repaired contents. Returns the number of
+// slots resampled.
+//
+// Repair invalidates every View over this universe — their coverage
+// counts reference the pre-repair contents. The engine only repairs
+// universes at generation-swap time, when no session (and therefore no
+// View) is attached.
+func (u *Universe) Repair(sample func(slot int32, dst []int32) []int32) int {
+	if u.nStale == 0 {
+		return 0
+	}
+	size := u.Size()
+	newData := make([]int32, 0, len(u.data))
+	newOffsets := make([]uint32, 1, len(u.offsets))
+	repaired := 0
+	var buf []int32
+	for id := int32(0); int(id) < size; id++ {
+		if u.stale.get(id) {
+			buf = sample(id, buf[:0])
+			newData = append(newData, buf...)
+			repaired++
+		} else {
+			newData = append(newData, u.Set(id)...)
+		}
+		newOffsets = append(newOffsets, uint32(len(newData)))
+	}
+	u.data = newData
+	u.offsets = newOffsets
+	u.idx.reset()
+	for id := int32(0); int(id) < size; id++ {
+		for _, v := range u.Set(id) {
+			u.idx.push(v, id)
+		}
+	}
+	u.stale.clear()
+	u.nStale = 0
+	return repaired
 }
 
 // View is one advertiser's coverage state over a shared Universe prefix.

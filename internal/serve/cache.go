@@ -91,17 +91,20 @@ func (c *resultCache) len() int {
 // via core.GammaKey (the same normalization that keys the engine's
 // probability memo and universe cache, so -0.0/NaN oddities collapse
 // identically), exact CPE and floored-budget bits — plus every
-// output-affecting option. Two requests agree on the key iff the engine
-// would produce bit-identical responses for them.
+// output-affecting option and the problem graph's generation (always
+// keyed, even at generation 0, so a /v1/mutate between two otherwise
+// identical requests forces a recompute: no cached response ever
+// crosses a generation boundary). Two requests agree on the key iff
+// the engine would produce bit-identical responses for them.
 func solveCacheKey(kind string, scale gen.Scale, dsSeed uint64, dataset string,
 	h int, ikind incentive.Kind, alpha float64, p *core.Problem,
 	mode string, opt core.Options, workers, batch int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|%s|%d|%d|%v|%x|%s|%x|%x|%d|%d|%d|%t|%d|%d",
+	fmt.Fprintf(&b, "%s|%s|%s|%d|%d|%v|%x|%s|%x|%x|%d|%d|%d|%t|%d|%d|gen:%d",
 		kind, dataset, scale, dsSeed, h, ikind, math.Float64bits(alpha),
 		mode, math.Float64bits(opt.Epsilon), math.Float64bits(opt.Ell),
 		opt.Window, opt.Seed, opt.MaxThetaPerAd, opt.ShareSamples,
-		workers, batch)
+		workers, batch, p.Graph.Generation())
 	for _, ad := range p.Ads {
 		fmt.Fprintf(&b, "|g:%s;c:%x;b:%x", core.GammaKey(ad.Gamma),
 			math.Float64bits(ad.CPE), math.Float64bits(ad.Budget))
@@ -110,14 +113,15 @@ func solveCacheKey(kind string, scale gen.Scale, dsSeed uint64, dataset string,
 }
 
 // evalCacheKey extends the instance identity with the allocation being
-// scored and the Monte-Carlo parameters.
+// scored, the Monte-Carlo parameters, and the graph generation (same
+// rationale as solveCacheKey: a mutate invalidates evaluate answers).
 func evalCacheKey(scale gen.Scale, dsSeed uint64, dataset string, h int,
 	ikind incentive.Kind, alpha float64, p *core.Problem,
 	seeds [][]int32, runs, workers int, seed uint64) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "eval|%s|%s|%d|%d|%v|%x|%d|%d|%d",
+	fmt.Fprintf(&b, "eval|%s|%s|%d|%d|%v|%x|%d|%d|%d|gen:%d",
 		dataset, scale, dsSeed, h, ikind, math.Float64bits(alpha),
-		runs, workers, seed)
+		runs, workers, seed, p.Graph.Generation())
 	for _, ad := range p.Ads {
 		fmt.Fprintf(&b, "|g:%s;c:%x;b:%x", core.GammaKey(ad.Gamma),
 			math.Float64bits(ad.CPE), math.Float64bits(ad.Budget))

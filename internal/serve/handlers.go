@@ -131,6 +131,10 @@ type SolveResult struct {
 	Alpha     float64 `json:"alpha"`
 	Mode      string  `json:"mode"`
 	Seed      uint64  `json:"seed"`
+	// Generation is the graph generation the session ran on (0 until the
+	// dataset's first /v1/mutate). It is part of the result-cache key, so
+	// a cached response never crosses a generation boundary.
+	Generation uint64 `json:"generation"`
 
 	Seeds        [][]int32   `json:"seeds"`
 	Revenue      []float64   `json:"revenue"`
@@ -146,6 +150,8 @@ type EvaluateResult struct {
 	Dataset string `json:"dataset"`
 	Runs    int    `json:"runs"`
 	Seed    uint64 `json:"seed"`
+	// Generation is the graph generation the evaluation ran on.
+	Generation uint64 `json:"generation"`
 
 	Spread       []float64 `json:"spread"`
 	Revenue      []float64 `json:"revenue"`
@@ -197,6 +203,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -247,7 +254,7 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func (s *Server) writeError(w http.ResponseWriter, status int, resp ErrorResponse) {
 	switch status {
 	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
-		http.StatusGatewayTimeout, statusClientClosedRequest:
+		http.StatusGatewayTimeout, http.StatusConflict, statusClientClosedRequest:
 	default:
 		s.met.requestErrors.Add(1)
 	}
@@ -436,6 +443,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Alpha:        alpha,
 		Mode:         req.Mode,
 		Seed:         seed,
+		Generation:   stats.Generation,
 		Seeds:        alloc.Seeds,
 		Revenue:      alloc.Revenue,
 		SeedCost:     alloc.SeedCost,
@@ -566,6 +574,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		Dataset:      req.Dataset,
 		Runs:         req.Runs,
 		Seed:         seed,
+		Generation:   p.Graph.Generation(),
 		Spread:       ev.Spread,
 		Revenue:      ev.Revenue,
 		SeedCost:     ev.SeedCost,

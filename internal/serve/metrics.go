@@ -16,6 +16,7 @@ import (
 type metrics struct {
 	solves            atomic.Int64 // /v1/solve sessions dispatched to an engine
 	evaluates         atomic.Int64 // /v1/evaluate sessions dispatched to an engine
+	mutates           atomic.Int64 // /v1/mutate deltas dispatched to an engine
 	cacheHits         atomic.Int64
 	cacheMisses       atomic.Int64
 	rejectedBusy      atomic.Int64 // 429: queue full
@@ -35,6 +36,7 @@ type engineRow struct {
 	universeBytes int64
 	samplerBytes  int64
 	workers       int64
+	generation    int64
 }
 
 // handleMetrics renders the Prometheus text exposition format (0.0.4)
@@ -65,6 +67,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	counter("rmserved_solves_total", "Solve sessions dispatched to an engine (cache hits excluded).", s.met.solves.Load())
 	counter("rmserved_evaluates_total", "Evaluate sessions dispatched to an engine (cache hits excluded).", s.met.evaluates.Load())
+	counter("rmserved_mutates_total", "Graph deltas dispatched to an engine via /v1/mutate (including rejected ones).", s.met.mutates.Load())
 	counter("rmserved_sessions_completed_total", "Sessions that returned a successful response.", s.met.sessionsCompleted.Load())
 	counter("rmserved_cache_hits_total", "Requests served bit-identically from the result cache.", s.met.cacheHits.Load())
 	counter("rmserved_cache_misses_total", "Cacheable requests that had to be computed.", s.met.cacheMisses.Load())
@@ -105,6 +108,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(r engineRow) int64 { return r.samplerBytes })
 	emit("rmserved_engine_workers", "RR-sampling scratch slots of the engine.", "gauge",
 		func(r engineRow) int64 { return r.workers })
+	emit("rmserved_graph_generation", "Serving graph generation of the engine (0 until its first mutate).", "gauge",
+		func(r engineRow) int64 { return r.generation })
+	emit("rmserved_engine_mutations_total", "Completed generation swaps on this engine.", "counter",
+		func(r engineRow) int64 { return r.counters.Mutations })
+	emit("rmserved_rrsets_invalidated_total", "RR sets marked stale by generation swaps.", "counter",
+		func(r engineRow) int64 { return r.counters.RRSetsInvalidated })
+	emit("rmserved_rrsets_repaired_total", "Stale RR-set slots resampled during generation swaps.", "counter",
+		func(r engineRow) int64 { return r.counters.RRSetsRepaired })
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -131,6 +142,7 @@ func (s *Server) engineRows() []engineRow {
 			universeBytes: e.CachedUniverseBytes(),
 			samplerBytes:  e.SamplerMemoryBytes(),
 			workers:       int64(e.Workers()),
+			generation:    int64(e.Generation()),
 		})
 	}
 	return rows

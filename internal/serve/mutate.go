@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// MutateEdge is one arc of a mutate request.
+type MutateEdge struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+}
+
+// MutateProb is one influence-probability override: the arc (u, v) must
+// exist after the batch's edge changes are applied.
+type MutateProb struct {
+	U     int32   `json:"u"`
+	V     int32   `json:"v"`
+	Topic int     `json:"topic"`
+	P     float32 `json:"p"`
+}
+
+// MutateRequest is the body of POST /v1/mutate: one batched graph delta
+// against the (dataset, h) engine. All three lists may be combined in
+// one batch; an entirely empty batch is legal and just advances the
+// generation. The request is atomic — either the whole batch compiles
+// into the next generation, or the engine is left untouched.
+type MutateRequest struct {
+	Dataset string `json:"dataset"`
+	// H selects the engine (default Config.DefaultH): each advertiser
+	// count is a separate instance with its own graph generations.
+	H           int          `json:"h,omitempty"`
+	AddEdges    []MutateEdge `json:"add_edges,omitempty"`
+	RemoveEdges []MutateEdge `json:"remove_edges,omitempty"`
+	SetProbs    []MutateProb `json:"set_probs,omitempty"`
+}
+
+// MutateResult is the body of a successful POST /v1/mutate, echoing the
+// new serving generation and the RR-universe repair accounting.
+type MutateResult struct {
+	Dataset string `json:"dataset"`
+	H       int    `json:"h"`
+	// Generation is the new serving generation; subsequent solve and
+	// evaluate responses echo it until the next mutate.
+	Generation       uint64 `json:"generation"`
+	TouchedNodes     int    `json:"touched_nodes"`
+	InvalidatedSets  int    `json:"invalidated_sets"`
+	RepairedSets     int    `json:"repaired_sets"`
+	CarriedUniverses int    `json:"carried_universes"`
+	DroppedUniverses int    `json:"dropped_universes"`
+}
+
+// handleMutate applies one batched graph delta to a warm engine and
+// swaps its serving generation. In-flight solve sessions finish on the
+// generation they pinned at entry; a swap already in progress answers
+// 409 (swaps never queue), an invalid delta 400. The swap runs under
+// the server's base context rather than the request context, so a
+// client hanging up mid-swap cannot abandon a half-carried cache — only
+// drain/Close aborts it.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.enter() {
+		s.met.rejectedDraining.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining"})
+		return
+	}
+	defer s.gate.exit()
+
+	var req MutateRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if req.Dataset == "" {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "dataset is required"})
+		return
+	}
+	h, err := s.resolveH(req.H)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	wb, err := s.workbench(req.Dataset, h)
+	if err != nil {
+		s.writeDatasetError(w, err)
+		return
+	}
+
+	d := &graph.Delta{
+		AddEdges:    make([]graph.Edge, len(req.AddEdges)),
+		RemoveEdges: make([]graph.Edge, len(req.RemoveEdges)),
+		SetProbs:    make([]graph.ProbUpdate, len(req.SetProbs)),
+	}
+	for i, e := range req.AddEdges {
+		d.AddEdges[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	for i, e := range req.RemoveEdges {
+		d.RemoveEdges[i] = graph.Edge{U: e.U, V: e.V}
+	}
+	for i, p := range req.SetProbs {
+		d.SetProbs[i] = graph.ProbUpdate{U: p.U, V: p.V, Topic: p.Topic, P: p.P}
+	}
+
+	s.met.mutates.Add(1)
+	res, err := wb.Engine().ApplyDelta(s.baseCtx, d)
+	if err != nil {
+		s.writeMutateError(w, err)
+		return
+	}
+	s.met.sessionsCompleted.Add(1)
+	writeJSON(w, http.StatusOK, MutateResult{
+		Dataset:          req.Dataset,
+		H:                h,
+		Generation:       res.Generation,
+		TouchedNodes:     res.TouchedNodes,
+		InvalidatedSets:  res.InvalidatedSets,
+		RepairedSets:     res.RepairedSets,
+		CarriedUniverses: res.CarriedUniverses,
+		DroppedUniverses: res.DroppedUniverses,
+	})
+}
+
+// writeMutateError maps ApplyDelta failures onto the wire contract: a
+// swap already in flight answers 409 Conflict (swaps never queue — the
+// client retries once the active swap lands), an invalid delta 400, a
+// drain-canceled swap 503, anything else 500.
+func (s *Server) writeMutateError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrSwapInProgress):
+		s.writeError(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, graph.ErrBadDelta):
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, core.ErrCanceled):
+		s.met.rejectedDraining.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{Error: "mutation canceled: server is draining"})
+	default:
+		s.writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	}
+}

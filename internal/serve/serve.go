@@ -9,6 +9,10 @@
 //     are request parameters; the per-request deadline is threaded into
 //     the ctx-aware Engine.Solve);
 //   - POST /v1/evaluate  independent Monte-Carlo scoring of an allocation;
+//   - POST /v1/mutate    one batched graph delta against a (dataset, h)
+//     engine: the graph generation swaps atomically, in-flight sessions
+//     finish on their pinned generation, and a concurrent swap answers
+//     409;
 //   - GET  /v1/datasets  the registry names this server resolves, with
 //     warm-engine state;
 //   - GET  /healthz /readyz /metrics  liveness, drain-aware readiness,
@@ -22,10 +26,11 @@
 //
 // Result cache. Successful responses are cached keyed on the full solve
 // identity — dataset coordinates, every ad's normalized topic
-// distribution (core.GammaKey), CPEs and budgets, and all
-// output-affecting options (mode, ε, seed, window, workers …). The
-// engine is deterministic for a fixed key, so a hit replays the stored
-// bytes and is bit-identical to re-solving cold.
+// distribution (core.GammaKey), CPEs and budgets, the graph generation,
+// and all output-affecting options (mode, ε, seed, window, workers …).
+// The engine is deterministic for a fixed key, so a hit replays the
+// stored bytes and is bit-identical to re-solving cold; a /v1/mutate
+// bumps the generation, so no cached response crosses it.
 //
 // Graceful drain. Drain stops admission (readyz flips to 503, sessions
 // get 503 instead of queueing), waits for in-flight sessions up to a
@@ -73,6 +78,11 @@ type Config struct {
 	// SingletonRuns is the workbench's Monte-Carlo budget for singleton
 	// spreads on the quality datasets (0 = the eval default).
 	SingletonRuns int
+	// MaxStaleFraction is each engine's bounded-staleness knob for
+	// /v1/mutate: carried RR universes are incrementally repaired at the
+	// swap only when their stale fraction exceeds this bound (default 0 =
+	// repair on any staleness, keeping served samples exact).
+	MaxStaleFraction float64
 	// MaxConcurrent bounds solve/evaluate sessions running at once
 	// (default GOMAXPROCS); MaxQueue bounds sessions waiting for a slot
 	// (default 64) — beyond it requests get 429 + Retry-After.
@@ -261,12 +271,13 @@ func (s *Server) workbench(name string, h int) (*eval.Workbench, error) {
 	// Build outside s.mu: eval.NewWorkbench serializes internally, and a
 	// slow first build must not block /metrics or /v1/datasets.
 	wb, err := eval.NewWorkbench(name, eval.Params{
-		Scale:         s.cfg.Scale,
-		Seed:          s.cfg.DatasetSeed,
-		H:             h,
-		SingletonRuns: s.cfg.SingletonRuns,
-		SampleWorkers: s.cfg.Workers,
-		SampleBatch:   s.cfg.SampleBatch,
+		Scale:            s.cfg.Scale,
+		Seed:             s.cfg.DatasetSeed,
+		H:                h,
+		SingletonRuns:    s.cfg.SingletonRuns,
+		SampleWorkers:    s.cfg.Workers,
+		SampleBatch:      s.cfg.SampleBatch,
+		MaxStaleFraction: s.cfg.MaxStaleFraction,
 	})
 	if err != nil {
 		return nil, err

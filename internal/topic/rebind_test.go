@@ -1,0 +1,116 @@
+package topic
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func rebindGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(4, 4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	return b.Build()
+}
+
+func TestRebindCarriesAndUpdates(t *testing.T) {
+	g := rebindGraph(t)
+	// Two topics with distinguishable per-edge values: topic z, edge e
+	// holds (z+1)*10 + e, scaled down into [0,1].
+	probs := make([][]float32, 2)
+	for z := range probs {
+		pz := make([]float32, g.NumEdges())
+		for e := range pz {
+			pz[e] = float32((z+1)*10+e) / 100
+		}
+		probs[z] = pz
+	}
+	m := FromProbs(g, probs)
+
+	ng, remap, err := g.ApplyDelta(&graph.Delta{
+		AddEdges:    []graph.Edge{{U: 3, V: 0}},
+		RemoveEdges: []graph.Edge{{U: 0, V: 2}},
+		SetProbs: []graph.ProbUpdate{
+			{U: 3, V: 0, Topic: 1, P: 0.75},
+			{U: 1, V: 3, Topic: 0, P: 0.25},
+		},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	nm, err := m.Rebind(ng, remap, []graph.ProbUpdate{
+		{U: 3, V: 0, Topic: 1, P: 0.75},
+		{U: 1, V: 3, Topic: 0, P: 0.25},
+	})
+	if err != nil {
+		t.Fatalf("Rebind: %v", err)
+	}
+	if nm.Graph() != ng {
+		t.Fatal("rebound model not bound to successor graph")
+	}
+	if nm.NumTopics() != 2 {
+		t.Fatalf("NumTopics = %d, want 2", nm.NumTopics())
+	}
+	check := func(u, v int32, z int, want float32) {
+		t.Helper()
+		e, ok := ng.EdgeID(u, v)
+		if !ok {
+			t.Fatalf("edge (%d,%d) missing", u, v)
+		}
+		if got := float32(nm.Prob(z, e)); got != want {
+			t.Errorf("p^%d(%d,%d) = %v, want %v", z, u, v, got, want)
+		}
+	}
+	oldID := func(u, v int32) int64 {
+		e, ok := g.EdgeID(u, v)
+		if !ok {
+			t.Fatalf("old edge (%d,%d) missing", u, v)
+		}
+		return e
+	}
+	// Surviving arcs carry their old values (except the updated one).
+	check(0, 1, 0, probs[0][oldID(0, 1)])
+	check(0, 1, 1, probs[1][oldID(0, 1)])
+	check(2, 3, 0, probs[0][oldID(2, 3)])
+	// Updated arc takes the new value in its topic, carries in the other.
+	check(1, 3, 0, 0.25)
+	check(1, 3, 1, probs[1][oldID(1, 3)])
+	// Inserted arc: zero except its explicit update.
+	check(3, 0, 0, 0)
+	check(3, 0, 1, 0.75)
+	// Receiver untouched.
+	if m.Graph() != g || float32(m.Prob(0, oldID(1, 3))) != probs[0][oldID(1, 3)] {
+		t.Fatal("Rebind mutated the receiver model")
+	}
+}
+
+func TestRebindRejectsBadTopic(t *testing.T) {
+	g := rebindGraph(t)
+	m := NewUniformIC(g, 0.1) // L = 1
+	ng, remap, err := g.ApplyDelta(&graph.Delta{
+		SetProbs: []graph.ProbUpdate{{U: 0, V: 1, Topic: 3, P: 0.5}},
+	})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err) // graph layer can't know L
+	}
+	if _, err := m.Rebind(ng, remap, []graph.ProbUpdate{{U: 0, V: 1, Topic: 3, P: 0.5}}); !errors.Is(err, graph.ErrBadDelta) {
+		t.Fatalf("Rebind error = %v, want ErrBadDelta", err)
+	}
+}
+
+func TestRebindRejectsMismatchedRemap(t *testing.T) {
+	g := rebindGraph(t)
+	m := NewUniformIC(g, 0.1)
+	ng, _, err := g.ApplyDelta(&graph.Delta{AddEdges: []graph.Edge{{U: 3, V: 0}}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	bad := &graph.EdgeRemap{NewToOld: make([]int64, 2)}
+	if _, err := m.Rebind(ng, bad, nil); err == nil {
+		t.Fatal("Rebind accepted a remap of the wrong length")
+	}
+}

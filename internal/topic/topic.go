@@ -223,6 +223,44 @@ func NewTICRandom(g *graph.Graph, p TICParams, rng *xrand.RNG) *Model {
 	return &Model{g: g, probs: probs}
 }
 
+// Rebind carries the model across a graph.ApplyDelta: it returns a new
+// Model aligned with the successor graph ng, copying each surviving
+// edge's per-topic probabilities through remap.NewToOld, zero-filling
+// arcs the delta inserted, and then applying the delta's probability
+// updates. The receiver is untouched. Updates referencing a topic
+// outside [0, L) reject with graph.ErrBadDelta — the graph layer cannot
+// check L, so this is where that half of delta validation lives.
+func (m *Model) Rebind(ng *graph.Graph, remap *graph.EdgeRemap, updates []graph.ProbUpdate) (*Model, error) {
+	if int64(len(remap.NewToOld)) != ng.NumEdges() {
+		return nil, fmt.Errorf("topic: remap covers %d edges, successor has %d",
+			len(remap.NewToOld), ng.NumEdges())
+	}
+	probs := make([][]float32, len(m.probs))
+	for z := range m.probs {
+		pz := make([]float32, ng.NumEdges())
+		old := m.probs[z]
+		for e, oe := range remap.NewToOld {
+			if oe >= 0 {
+				pz[e] = old[oe]
+			}
+		}
+		probs[z] = pz
+	}
+	for _, up := range updates {
+		if up.Topic < 0 || up.Topic >= len(probs) {
+			return nil, fmt.Errorf("%w: set-prob (%d,%d) topic %d outside model's %d topics",
+				graph.ErrBadDelta, up.U, up.V, up.Topic, len(probs))
+		}
+		e, ok := ng.EdgeID(up.U, up.V)
+		if !ok {
+			return nil, fmt.Errorf("%w: set-prob (%d,%d) arc missing from successor graph",
+				graph.ErrBadDelta, up.U, up.V)
+		}
+		probs[up.Topic][e] = up.P
+	}
+	return &Model{g: ng, probs: probs}, nil
+}
+
 // FromProbs builds a model from explicit per-topic edge probabilities
 // (mainly for tests and hand-built instances). The slices are not copied.
 func FromProbs(g *graph.Graph, probs [][]float32) *Model {

@@ -76,6 +76,23 @@ type (
 	ProgressKind = core.ProgressKind
 )
 
+// Dynamic-graph types: mutate the graph between sessions with
+// Engine.ApplyDelta — each batch compiles into a fresh immutable graph
+// at the next Generation, in-flight sessions finish on the snapshot
+// they started with, and cached RR universes are repaired in place.
+type (
+	// GraphDelta is one batched graph mutation (arc inserts, removes,
+	// per-topic probability overrides) applied atomically.
+	GraphDelta = graph.Delta
+	// GraphEdge names one directed arc in a GraphDelta.
+	GraphEdge = graph.Edge
+	// ProbUpdate overrides one arc's probability on one topic.
+	ProbUpdate = graph.ProbUpdate
+	// DeltaResult reports what an Engine.ApplyDelta swap did: the new
+	// generation, touched nodes, and RR-set invalidation/repair counts.
+	DeltaResult = core.DeltaResult
+)
+
 // Sentinel errors of the solve path; dispatch with errors.Is.
 var (
 	// ErrInvalidProblem marks structurally invalid input.
@@ -85,6 +102,13 @@ var (
 	// ErrCanceled marks a solve aborted by its context; the chain also
 	// matches the originating context error.
 	ErrCanceled = core.ErrCanceled
+	// ErrBadDelta marks a structurally invalid GraphDelta (self-loop,
+	// duplicate insert, missing removal target, out-of-range node/topic,
+	// probability outside [0, 1]); the engine is left untouched.
+	ErrBadDelta = graph.ErrBadDelta
+	// ErrSwapInProgress marks an ApplyDelta rejected because another
+	// swap was running; swaps never queue — retry after it completes.
+	ErrSwapInProgress = core.ErrSwapInProgress
 )
 
 // Progress event kinds.
