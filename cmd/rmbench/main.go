@@ -43,7 +43,7 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment ID: table1|table2|table3|fig1|fig2|fig3|fig4|fig5a|fig5b|fig5c|fig5d|all")
+	experiment = flag.String("experiment", "all", "experiment IDs (comma separated): table1|table2|table3|fig1|fig2|fig3|fig4|fig5a|fig5b|fig5c|fig5d|shards|all")
 	scaleFlag  = flag.String("scale", "small", "dataset scale: tiny|small|medium|full")
 	seed       = flag.Uint64("seed", 1, "random seed")
 	hFlag      = flag.Int("h", 10, "number of advertisers (quality experiments)")
@@ -64,6 +64,8 @@ var (
 	quiet      = flag.Bool("quiet", false, "suppress progress output")
 	workers    = flag.Int("workers", 1, "RR-sampling scratch slots shared by all ads per run (0 = all CPU cores; 1 = sequential-identical, the paper's setting)")
 	batch      = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default; part of the determinism key for workers > 1)")
+	shardsFl   = flag.Int("shards", 0, "RR-shard count for every experiment engine (0 = unsharded path)")
+	shardSweep = flag.String("shardsweep", "1,2,4", "shard counts for -experiment=shards")
 	timeout    = flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit); Ctrl-C also cancels gracefully")
 )
 
@@ -109,6 +111,7 @@ func params() (eval.Params, error) {
 		AlphaPoints:   *alphaPts,
 		SampleWorkers: nw,
 		SampleBatch:   *batch,
+		Shards:        *shardsFl,
 	}, nil
 }
 
@@ -199,7 +202,18 @@ func run(ctx context.Context) error {
 	if _, err := datasetList(); err != nil {
 		return err
 	}
-	ids := []string{*experiment}
+	// -experiment accepts a comma-separated list, run in order into one
+	// report (CI combines fig5a,shards this way); "all" expands to the
+	// paper's full artifact set.
+	var ids []string
+	for _, id := range strings.Split(*experiment, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("-experiment names no experiments")
+	}
 	if *experiment == "all" {
 		// fig2+fig3 share one QualitySweep via the combined ID.
 		ids = []string{"table1", "table2", "fig1", "fig2+fig3", "fig4",
@@ -265,6 +279,9 @@ func run(ctx context.Context) error {
 		return fmt.Errorf("writing -csv file: %w", err)
 	}
 	if report != nil {
+		// Stamped last: VmHWM is monotone, so this is the whole run's
+		// memory ceiling (the mmap-vs-copy comparison number).
+		report.PeakRSSBytes = eval.PeakRSSBytes()
 		if *jsonPath == "-" {
 			if err := report.WriteJSON(os.Stdout); err != nil {
 				return fmt.Errorf("writing -json report: %w", err)
@@ -411,6 +428,20 @@ func runOne(ctx context.Context, id string, p eval.Params) (result, error) {
 		}
 		return result{
 			tables: []*eval.Table{eval.RuntimeTable(points, "budget")},
+			runs:   scaleRuns(points),
+		}, nil
+
+	case "shards":
+		counts, err := parseInts(*shardSweep)
+		if err != nil {
+			return result{}, err
+		}
+		points, err := eval.ShardScaling(ctx, "dblp", 10_000, counts, p, progress())
+		if err != nil {
+			return result{}, err
+		}
+		return result{
+			tables: []*eval.Table{eval.ShardScalingTable(points)},
 			runs:   scaleRuns(points),
 		}, nil
 

@@ -30,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/serve"
 )
@@ -43,6 +44,8 @@ var (
 	maxH       = flag.Int("maxh", 64, "maximum advertiser count a request may ask for")
 	workers    = flag.Int("workers", 1, "RR-sampling scratch slots per engine (1 = sequential-identical)")
 	batch      = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default)")
+	shardsFl   = flag.Int("shards", 0, "RR-shard count per engine (0 = unsharded path, 1 = shard layer with bit-identical output)")
+	snapFlag   = flag.String("snapshot", "", "serve a snapshot/edge-list file (registered under its path and appended to -datasets); snapshots load zero-copy via mmap")
 	maxConc    = flag.Int("max-concurrent", 0, "solve sessions running at once (0 = GOMAXPROCS)")
 	maxQueue   = flag.Int("max-queue", 64, "sessions waiting for a slot before 429 (negative = no queue)")
 	timeoutFl  = flag.Duration("timeout", 60*time.Second, "default per-session deadline")
@@ -75,6 +78,16 @@ func run() error {
 			}
 		}
 	}
+	if *snapFlag != "" {
+		// Same convention as rmsolve -snapshot: the file is registered
+		// under its own path, so that path is its dataset name in the API.
+		// Snapshot files resolve through dataset.LoadMmap, so a large
+		// instance is served off the page cache instead of a heap copy.
+		if err := dataset.Default.RegisterFile(*snapFlag, *snapFlag); err != nil {
+			return err
+		}
+		names = append(names, *snapFlag)
+	}
 	srv := serve.New(serve.Config{
 		Scale:            scale,
 		DatasetSeed:      *dsSeed,
@@ -83,6 +96,7 @@ func run() error {
 		MaxH:             *maxH,
 		Workers:          *workers,
 		SampleBatch:      *batch,
+		Shards:           *shardsFl,
 		MaxConcurrent:    *maxConc,
 		MaxQueue:         *maxQueue,
 		DefaultTimeout:   *timeoutFl,

@@ -51,6 +51,8 @@ var (
 	share     = flag.Bool("share", false, "share RR samples across ads with identical topics")
 	workers   = flag.Int("workers", 1, "RR-sampling scratch slots shared by all ads (1 = sequential-identical, machine-independent; 0 = all CPU cores)")
 	batch     = flag.Int("batch", 0, "per-worker RR sampling batch size (0 = default; part of the determinism key for workers > 1)")
+	shardsFl  = flag.Int("shards", 0, "RR-shard count (0 = unsharded path, 1 = shard layer with bit-identical output, >1 = parallel shards)")
+	rssFlag   = flag.Bool("rss", false, "report the process peak RSS (VmHWM) after the solve")
 	timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit); Ctrl-C also cancels gracefully")
 	progFlag  = flag.Bool("progress", false, "stream solver progress events (θ growth, committed seeds) to stderr")
 )
@@ -91,7 +93,8 @@ func run(ctx context.Context) error {
 		nw = runtime.NumCPU()
 	}
 	params := eval.Params{Scale: scale, Seed: *seed, H: *hFlag, Epsilon: *epsFlag,
-		Window: *window, MaxThetaPerAd: *maxTheta, SampleWorkers: nw, SampleBatch: *batch}
+		Window: *window, MaxThetaPerAd: *maxTheta, SampleWorkers: nw, SampleBatch: *batch,
+		Shards: *shardsFl}
 	name := *datasetFl
 	if *snapFlag != "" {
 		// Register the file under its own path so the workbench resolves
@@ -161,10 +164,17 @@ func run(ctx context.Context) error {
 	fmt.Printf("dataset=%s scale=%s nodes=%d edges=%d h=%d alg=%s kind=%s alpha=%g eps=%g\n",
 		w.Dataset.Name, scale, p.Graph.NumNodes(), p.Graph.NumEdges(), *hFlag,
 		*algFlag, kind, *alpha, *epsFlag)
-	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory + %.1f MB sampler scratch, %d workers, %.0f RR sets/sec\n\n",
+	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory + %.1f MB sampler scratch, %d workers, %d shards, %.0f RR sets/sec\n",
 		stats.Duration.Round(1e6), stats.TotalRRSets,
 		float64(stats.RRMemoryBytes)/(1<<20),
-		float64(stats.SamplerMemoryBytes)/(1<<20), stats.SampleWorkers, throughput)
+		float64(stats.SamplerMemoryBytes)/(1<<20), stats.SampleWorkers, stats.Shards, throughput)
+	if mmapped := dataset.MmapActiveBytes(); mmapped > 0 {
+		fmt.Printf("snapshot mmapped zero-copy: %.1f MB\n", float64(mmapped)/(1<<20))
+	}
+	if *rssFlag {
+		fmt.Printf("peak RSS (VmHWM): %.1f MB\n", float64(eval.PeakRSSBytes())/(1<<20))
+	}
+	fmt.Println()
 
 	for i := range alloc.Seeds {
 		fmt.Printf("ad %d: budget=%.1f cpe=%.2f seeds=%d\n",

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/rrset"
+	"repro/internal/shard"
 	"repro/internal/xrand"
 )
 
@@ -177,6 +178,9 @@ type Stats struct {
 	// ShareGroups is the number of distinct sample-sharing groups formed
 	// under Options.ShareSamples (0 when sharing is off).
 	ShareGroups int
+	// Shards is the Engine's RR-shard count for the run (0 = the
+	// unsharded path; see EngineOptions.Shards).
+	Shards int
 }
 
 // TICARM runs the scalable cost-agnostic algorithm.
@@ -223,9 +227,17 @@ func RunWith(ctx context.Context, eng *Engine, p *Problem, opt Options) (*Alloca
 type adGroup struct {
 	universe *rrset.Universe
 	sampler  *rrset.Stream
-	kptSrc   *rrset.Stream
+	// shg replaces universe/sampler when the Engine runs sharded
+	// (EngineOptions.Shards > 0): draws are split round-robin across S
+	// per-shard universes with independent deterministic streams, and
+	// member views merge the per-shard counts. In sharded sessions
+	// without ShareSamples every ad gets a private singleton adGroup (sg
+	// stays nil), so both sharing modes route through the same machinery.
+	shg    *shard.Group
+	kptSrc *rrset.Stream
 	// sg is the Engine cache entry backing universe/sampler; its cached
 	// byte count is refreshed after every growth this session performs.
+	// nil for session-private (singleton sharded) groups.
 	sg      *sharedGroup
 	kpt     float64
 	kptAtS  int
@@ -233,14 +245,55 @@ type adGroup struct {
 	members []*adState
 }
 
+// size returns the group's stored set count across storage layouts.
+func (g *adGroup) size() int {
+	if g.shg != nil {
+		return g.shg.Size()
+	}
+	return g.universe.Size()
+}
+
+// footprint returns the group's RR storage bytes across storage layouts.
+func (g *adGroup) footprint() int64 {
+	if g.shg != nil {
+		return g.shg.MemoryFootprint()
+	}
+	return g.universe.MemoryFootprint()
+}
+
+// newView builds a member's prefix coverage view over the group's
+// universe(s), capped at limit sets.
+func (g *adGroup) newView(limit int) prefixView {
+	if g.shg != nil {
+		return shard.NewViewPrefix(g.shg, limit)
+	}
+	return rrset.NewViewPrefix(g.universe, limit)
+}
+
+// prefixView is the coverage state a group member runs selection on:
+// full rrset.CoverageState plus prefix extension after universe growth.
+// Implemented by *rrset.View (unsharded) and *shard.MergedView (sharded,
+// with provably equal counts and pick sequences).
+type prefixView interface {
+	rrset.CoverageState
+	SyncTo(limit int) int
+}
+
 // growUniverse extends the group's (possibly cached) universe to the
 // session's virtual size and refreshes the cache entry's byte count.
 func (e *solver) growUniverse(g *adGroup) error {
-	if g.universe.Size() >= g.vsize {
+	if g.size() >= g.vsize {
 		return nil
 	}
-	err := g.universe.AddFromParallelCtx(e.ctx, g.sampler, g.vsize-g.universe.Size())
-	g.sg.bytes.Store(g.universe.MemoryFootprint())
+	var err error
+	if g.shg != nil {
+		err = g.shg.Grow(e.ctx, g.vsize)
+	} else {
+		err = g.universe.AddFromParallelCtx(e.ctx, g.sampler, g.vsize-g.universe.Size())
+	}
+	if g.sg != nil {
+		g.sg.bytes.Store(g.footprint())
+	}
 	if err != nil {
 		return e.canceled(err)
 	}
@@ -253,11 +306,11 @@ type adState struct {
 	cpe     float64
 	budget  float64
 	coll    rrset.CoverageState
-	excl    *rrset.Collection // non-nil iff exclusive (coll == excl)
-	view    *rrset.View       // non-nil iff sharing (coll == view)
-	group   *adGroup          // non-nil iff sharing
-	sampler *rrset.Stream     // exclusive mode only
-	kptSrc  *rrset.Stream     // exclusive mode only
+	excl    *rrset.Collection // non-nil iff exclusive unsharded (coll == excl)
+	view    prefixView        // non-nil iff group member (coll == view)
+	group   *adGroup          // non-nil iff group member (sharing or sharded)
+	sampler *rrset.Stream     // exclusive unsharded mode only
+	kptSrc  *rrset.Stream     // exclusive unsharded mode only
 	heap    candHeap
 	pruned  []bool // (node, ad) pairs removed from the ground set
 
@@ -359,7 +412,7 @@ func (e *solver) solve() (*Allocation, error) {
 				// Seeds drawn in the same order the sequential code called
 				// rng.Split(), so Workers<=1 reproduces it bit for bit.
 				sSeed, kSeed := rng.Uint64(), rng.Uint64()
-				uk := universeKey{gamma: key, seed: sSeed}
+				uk := universeKey{gamma: key, seed: sSeed, shards: e.snap.shards}
 				sg, err := e.eng.lockSharedGroup(e.ctx, e.snap, uk, probs, e.p.Ads[i].Gamma)
 				if err != nil {
 					return nil, e.canceled(err)
@@ -369,6 +422,7 @@ func (e *solver) solve() (*Allocation, error) {
 				g = &adGroup{
 					universe: sg.universe,
 					sampler:  sg.sampler,
+					shg:      sg.shg,
 					sg:       sg,
 					// The KPT stream replays from scratch every session, so
 					// refresh sequences depend only on this session's seed —
@@ -410,6 +464,14 @@ func (e *solver) solve() (*Allocation, error) {
 			}(i)
 		}
 		wg.Wait()
+		// Sharded exclusive ads carry their storage in private singleton
+		// groups; register them (even for a failed init) so Stats and the
+		// growth machinery see them uniformly.
+		for _, ad := range e.ads {
+			if ad != nil && ad.group != nil {
+				e.groups = append(e.groups, ad.group)
+			}
+		}
 		for _, err := range errs {
 			if err != nil {
 				return nil, err
@@ -455,19 +517,25 @@ func (e *solver) snapshotStats() {
 		}
 	}
 	for _, g := range e.groups {
-		e.stats.RRMemoryBytes += g.universe.MemoryFootprint()
+		e.stats.RRMemoryBytes += g.footprint()
 		// This session drew (or replayed) exactly its virtual universe
 		// size; a cached universe's pre-grown tail is not this session's
 		// work. A canceled session can hold vsize > Size() — report only
 		// what exists.
 		drawn := g.vsize
-		if s := g.universe.Size(); s < drawn {
+		if s := g.size(); s < drawn {
 			drawn = s
 		}
 		e.stats.TotalRRSets += int64(drawn)
 	}
-	e.stats.SamplerMemoryBytes = e.pool.MemoryFootprint()
-	e.stats.ShareGroups = len(e.groups)
+	for _, p := range e.snap.pools {
+		e.stats.SamplerMemoryBytes += p.MemoryFootprint()
+	}
+	if e.opt.ShareSamples {
+		// Singleton sharded-exclusive groups are storage plumbing, not
+		// sharing: ShareGroups keeps meaning "distinct gamma groups".
+		e.stats.ShareGroups = len(e.groups)
+	}
 }
 
 // emitProgress delivers one progress event to the session's hook.
@@ -490,10 +558,13 @@ func (e *solver) emitProgress(kind ProgressKind, ad *adState, node int32) {
 // of size L(1, ε), and the candidate heap (Algorithm 2 lines 1–4).
 func (e *solver) initAd(i int, rng *xrand.RNG) (*adState, error) {
 	probs := e.snap.edgeProbsFor(e.p.Ads[i].Gamma)
-	coll := rrset.NewCollection(e.n)
 	// Seeds drawn in the same order the sequential code called rng.Split(),
 	// so Workers<=1 reproduces it bit for bit.
 	sSeed, kSeed := rng.Uint64(), rng.Uint64()
+	if e.snap.shards > 0 {
+		return e.initShardedAd(i, probs, sSeed, kSeed)
+	}
+	coll := rrset.NewCollection(e.n)
 	ad := &adState{
 		idx:     i,
 		cpe:     e.p.Ads[i].CPE,
@@ -516,6 +587,48 @@ func (e *solver) initAd(i int, rng *xrand.RNG) (*adState, error) {
 	if err := coll.AddFromParallelCtx(e.ctx, ad.sampler, ad.theta); err != nil {
 		return ad, e.canceled(err)
 	}
+	e.applyExclusions(ad)
+	e.rebuildHeap(ad)
+	return ad, nil
+}
+
+// initShardedAd sets up one exclusive advertiser on a sharded Engine: a
+// private singleton adGroup whose shard.Group plays the Collection's
+// role, with a merged view as the coverage state. The seed layout
+// matches the unsharded exclusive path draw for draw (sSeed feeds the
+// group's shard streams — shard 0's stream seed IS sSeed, so Shards=1
+// replays the exact unsharded sample sequence), and the group is never
+// cached: exclusive samples die with the session.
+func (e *solver) initShardedAd(i int, probs []float32, sSeed, kSeed uint64) (*adState, error) {
+	g := &adGroup{
+		shg:    shard.NewGroup(e.n, e.snap.pools, probs, sSeed),
+		kptSrc: e.pool.NewStream(probs, kSeed),
+		kptAtS: 1,
+	}
+	ad := &adState{
+		idx:    i,
+		cpe:    e.p.Ads[i].CPE,
+		budget: e.p.Ads[i].Budget,
+		group:  g,
+		pruned: make([]bool, e.n),
+		s:      1,
+		kptAtS: 1,
+		active: true,
+	}
+	var err error
+	g.kpt, err = rrset.KptEstimateParallelCtx(e.ctx, g.kptSrc, e.m, int64(e.n), 1, e.opt.Ell)
+	if err != nil {
+		return ad, e.canceled(err)
+	}
+	ad.kpt = g.kpt
+	g.vsize = e.thetaFor(ad, 1)
+	if err := e.growUniverse(g); err != nil {
+		return ad, err
+	}
+	ad.view = g.newView(g.vsize)
+	ad.coll = ad.view
+	ad.theta = ad.view.Size()
+	g.members = append(g.members, ad)
 	e.applyExclusions(ad)
 	e.rebuildHeap(ad)
 	return ad, nil
@@ -555,7 +668,7 @@ func (e *solver) initSharedAd(i int, g *adGroup) (*adState, error) {
 	if err := e.growUniverse(g); err != nil {
 		return ad, err
 	}
-	ad.view = rrset.NewViewPrefix(g.universe, g.vsize)
+	ad.view = g.newView(g.vsize)
 	ad.coll = ad.view
 	ad.theta = ad.view.Size()
 	g.members = append(g.members, ad)

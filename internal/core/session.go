@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/rrset"
+	"repro/internal/shard"
 	"repro/internal/topic"
 )
 
@@ -27,6 +28,19 @@ type EngineOptions struct {
 	// Workers > 1 and the granularity of context-cancellation checks
 	// inside sampling.
 	SampleBatch int
+	// Shards partitions every RR-set store into this many independently
+	// sampled shards: global draw i lands in shard i mod Shards, each
+	// shard samples from its own deterministic stream
+	// (shard.StreamSeed(seed, s)) into its own universe, and selection
+	// runs on merged per-node counts that are provably equal to the
+	// single-universe oracle's. 0 keeps the historical unsharded path
+	// untouched; 1 routes through the shard layer and stays bit-identical
+	// to 0 (shard 0's stream seed is the base seed unchanged, and the
+	// merged view of one shard is a plain prefix view). Values above 1
+	// parallelize sampling across shards — each shard gets its own
+	// scratch pool, so total scratch grows to O(Shards·Workers·n) — and
+	// let ApplyDelta repair only the shards owning touched sets.
+	Shards int
 	// MaxStaleFraction bounds how much staleness a cached RR universe may
 	// carry across an ApplyDelta before the swap forces an incremental
 	// repair: a carried universe whose stale fraction exceeds the bound
@@ -42,6 +56,9 @@ type EngineOptions struct {
 func (o EngineOptions) withDefaults() EngineOptions {
 	if o.Workers <= 0 {
 		o.Workers = 1
+	}
+	if o.Shards < 0 {
+		o.Shards = 0
 	}
 	if o.MaxStaleFraction < 0 {
 		o.MaxStaleFraction = 0
@@ -75,6 +92,11 @@ func mixSeed(seed, gen uint64) uint64 {
 type universeKey struct {
 	gamma string
 	seed  uint64
+	// shards is the engine's shard count at entry creation. Constant per
+	// Engine, but part of the key so a universe sampled under one shard
+	// layout can never be replayed under another (the per-shard stream
+	// split changes the draw-to-set mapping for S > 1).
+	shards int
 }
 
 // sharedGroup is one cached (universe, sampler) pair. Its lock (a
@@ -89,6 +111,10 @@ type sharedGroup struct {
 	lock     chan struct{}
 	universe *rrset.Universe
 	sampler  *rrset.Stream
+	// shg replaces universe/sampler (both nil) when the Engine runs
+	// sharded: one shard.Group bundling S universes with their per-shard
+	// deterministic streams.
+	shg *shard.Group
 	// gamma is the entry's (unnormalized) topic distribution, kept so a
 	// generation swap can re-materialize edge probabilities on the new
 	// model when carrying the universe forward.
@@ -113,7 +139,15 @@ type sharedGroup struct {
 type snapshot struct {
 	graph *graph.Graph
 	model *topic.Model
-	pool  *rrset.Pool
+	// pool is the primary scratch pool (always pools[0]): KPT streams and
+	// every unsharded sampler draw from it.
+	pool *rrset.Pool
+	// pools holds one scratch pool per shard when shards > 0 (pools[0] ==
+	// pool), so shards sample concurrently without contending for slots.
+	// Pool scratch is lazily materialized, so idle pools cost little.
+	pools []*rrset.Pool
+	// shards is EngineOptions.Shards, frozen per generation.
+	shards int
 
 	mu        sync.Mutex
 	probs     map[string][]float32
@@ -121,13 +155,23 @@ type snapshot struct {
 }
 
 func newSnapshot(g *graph.Graph, model *topic.Model, opts EngineOptions) *snapshot {
-	return &snapshot{
-		graph: g,
-		model: model,
-		pool: rrset.NewPool(g, rrset.PoolOptions{
+	np := opts.Shards
+	if np < 1 {
+		np = 1
+	}
+	pools := make([]*rrset.Pool, np)
+	for i := range pools {
+		pools[i] = rrset.NewPool(g, rrset.PoolOptions{
 			Workers:   opts.Workers,
 			BatchSize: opts.SampleBatch,
-		}),
+		})
+	}
+	return &snapshot{
+		graph:     g,
+		model:     model,
+		pool:      pools[0],
+		pools:     pools,
+		shards:    opts.Shards,
 		probs:     map[string][]float32{},
 		universes: map[universeKey]*sharedGroup{},
 	}
@@ -304,9 +348,22 @@ func (e *Engine) Generation() uint64 { return e.cur.Load().graph.Generation() }
 // Workers returns the Engine's resolved sampling-worker count.
 func (e *Engine) Workers() int { return e.cur.Load().pool.Workers() }
 
+// Shards returns the Engine's configured RR-sampling shard count
+// (0 = the unsharded legacy path; 1 routes through the shard layer
+// bit-identically).
+func (e *Engine) Shards() int { return e.opts.Shards }
+
 // SamplerMemoryBytes returns the high-water scratch footprint of the
-// current generation's sampling pool, O(Workers·n).
-func (e *Engine) SamplerMemoryBytes() int64 { return e.cur.Load().pool.MemoryFootprint() }
+// current generation's sampling pools — O(Workers·n) unsharded,
+// O(Shards·Workers·n) worst case when sharded (idle shard pools stay
+// lazily unmaterialized).
+func (e *Engine) SamplerMemoryBytes() int64 {
+	var total int64
+	for _, p := range e.cur.Load().pools {
+		total += p.MemoryFootprint()
+	}
+	return total
+}
 
 // CachedUniverses returns the number of RR-set universes currently held
 // by the current generation's cross-solve cache (grown by ShareSamples
@@ -397,10 +454,14 @@ func (e *Engine) lockSharedGroup(ctx context.Context, sn *snapshot, key universe
 		sg, ok := sn.universes[key]
 		if !ok {
 			sg = &sharedGroup{
-				lock:     make(chan struct{}, 1),
-				universe: rrset.NewUniverse(sn.graph.NumNodes()),
-				sampler:  sn.pool.NewStream(probs, mixSeed(key.seed, sn.graph.Generation())),
-				gamma:    append(topic.Distribution(nil), gamma...),
+				lock:  make(chan struct{}, 1),
+				gamma: append(topic.Distribution(nil), gamma...),
+			}
+			if sn.shards > 0 {
+				sg.shg = shard.NewGroup(sn.graph.NumNodes(), sn.pools, probs, mixSeed(key.seed, sn.graph.Generation()))
+			} else {
+				sg.universe = rrset.NewUniverse(sn.graph.NumNodes())
+				sg.sampler = sn.pool.NewStream(probs, mixSeed(key.seed, sn.graph.Generation()))
 			}
 			sn.universes[key] = sg
 		}
@@ -483,6 +544,7 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 			Kpt:           make([]float64, p.NumAds()),
 			SeedCounts:    make([]int, p.NumAds()),
 			SampleWorkers: sn.pool.Workers(),
+			Shards:        sn.shards,
 		},
 	}
 	// Deferred cleanup so that even a panic escaping the solve (e.g. from

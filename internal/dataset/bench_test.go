@@ -68,6 +68,34 @@ func BenchmarkSnapshotLoad(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotLoadMmap compares the two snapshot ingestion paths
+// head to head over the same file: Load (decode into fresh heap
+// arrays) versus LoadMmap (alias the page-cache mapping). Throughput
+// is close on a warm cache; the separating number is B/op — the mmap
+// path's allocations stay flat no matter how large the snapshot is,
+// which is what lets beyond-RAM graphs load at all.
+func BenchmarkSnapshotLoadMmap(b *testing.B) {
+	snapPath, _ := mediumFiles(b)
+	b.Run("copy", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			loadSnapshotPath(b, snapPath)
+		}
+	})
+	b.Run("mmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := LoadMmap(snapPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // TestSnapshotLoadSpeedup asserts the ≥5× bar directly: minimum-of-N
 // wall times so scheduler noise cannot produce a flaky failure on a
 // machine where the true ratio is an order of magnitude.

@@ -108,6 +108,12 @@ func (b *binWriter) bool(v bool) {
 
 func (b *binWriter) i32Slice(s []int32) {
 	b.u64(uint64(len(s)))
+	b.i32Chunk(s)
+}
+
+// i32Chunk writes raw elements with no length prefix — the streaming
+// writer's building block for sections whose count is declared up front.
+func (b *binWriter) i32Chunk(s []int32) {
 	if hostLittleEndian {
 		b.write(i32Bytes(s))
 		return
@@ -127,6 +133,10 @@ func (b *binWriter) i32Slice(s []int32) {
 
 func (b *binWriter) i64Slice(s []int64) {
 	b.u64(uint64(len(s)))
+	b.i64Chunk(s)
+}
+
+func (b *binWriter) i64Chunk(s []int64) {
 	if hostLittleEndian {
 		b.write(i64Bytes(s))
 		return
@@ -146,6 +156,10 @@ func (b *binWriter) i64Slice(s []int64) {
 
 func (b *binWriter) f32Slice(s []float32) {
 	b.u64(uint64(len(s)))
+	b.f32Chunk(s)
+}
+
+func (b *binWriter) f32Chunk(s []float32) {
 	if hostLittleEndian {
 		b.write(f32Bytes(s))
 		return

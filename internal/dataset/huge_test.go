@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestStreamCirculantWC checks the huge-preset generator end to end at a
+// small n: the streamed file loads through both loaders, the circulant
+// structure is right, the in-adjacency matches a rebuild from the
+// out-CSR, and the probabilities are the exact weighted cascade.
+func TestStreamCirculantWC(t *testing.T) {
+	const n = 200
+	strides := CirculantStrides(5)
+	var buf bytes.Buffer
+	if err := StreamCirculantWC(&buf, "huge", n, strides); err != nil {
+		t.Fatalf("StreamCirculantWC: %v", err)
+	}
+	s, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	g := s.Graph
+	if g.NumNodes() != n || g.NumEdges() != n*int64(len(strides)) {
+		t.Fatalf("got %d nodes / %d edges", g.NumNodes(), g.NumEdges())
+	}
+	for _, u := range []int32{0, 1, n / 2, n - 1} {
+		outs := g.OutNeighbors(u)
+		if len(outs) != len(strides) {
+			t.Fatalf("node %d has %d out-neighbors", u, len(outs))
+		}
+		want := make([]int, 0, len(strides))
+		for _, st := range strides {
+			want = append(want, int((int64(u)+st)%n))
+		}
+		sort.Ints(want)
+		for j := range outs {
+			if int(outs[j]) != want[j] {
+				t.Fatalf("node %d out-neighbors %v, want %v", u, outs, want)
+			}
+		}
+	}
+	// The explicit in-CSR must agree with a rebuild from the out-CSR.
+	outOff, outTargets := g.CSR()
+	rebuilt, err := graph.FromCSR(n, outOff, outTargets)
+	if err != nil {
+		t.Fatalf("FromCSR: %v", err)
+	}
+	gotOff, gotSrc, gotIDs := g.InCSR()
+	wantOff, wantSrc, wantIDs := rebuilt.InCSR()
+	for v := int32(0); v <= n; v++ {
+		if gotOff[v] != wantOff[v] {
+			t.Fatalf("inOff[%d] = %d, want %d", v, gotOff[v], wantOff[v])
+		}
+	}
+	for i := range wantSrc {
+		if gotSrc[i] != wantSrc[i] || gotIDs[i] != wantIDs[i] {
+			t.Fatalf("in-arc %d: (%d, %d), want (%d, %d)", i, gotSrc[i], gotIDs[i], wantSrc[i], wantIDs[i])
+		}
+	}
+	probs := s.Model.TopicProbs(0)
+	want := float32(1 / float64(len(strides)))
+	for e, p := range probs {
+		if p != want {
+			t.Fatalf("edge %d prob %v, want %v", e, p, want)
+		}
+	}
+	if len(s.Ads) != 0 {
+		t.Fatalf("huge preset embedded %d ads", len(s.Ads))
+	}
+
+	// And the mmap loader accepts the streamed file too.
+	path := filepath.Join(t.TempDir(), "huge.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := LoadMmap(path)
+	if err != nil {
+		t.Fatalf("LoadMmap: %v", err)
+	}
+	defer ms.Close()
+	requireSameSnapshot(t, s, ms)
+}
+
+func TestStreamCirculantWCRejectsBadStrides(t *testing.T) {
+	var buf bytes.Buffer
+	if err := StreamCirculantWC(&buf, "x", 100, []int64{3, 3}); err == nil {
+		t.Fatal("duplicate strides accepted")
+	}
+	if err := StreamCirculantWC(&buf, "x", 100, []int64{100}); err == nil {
+		t.Fatal("stride >= n accepted")
+	}
+	if err := StreamCirculantWC(&buf, "x", 100, nil); err == nil {
+		t.Fatal("empty stride set accepted")
+	}
+}

@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package dataset
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates LoadMmap's zero-copy path at compile time; hosts
+// without a usable mmap fall back to the copy loader.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared. PROT_READ is the
+// write guard: any store through an aliased slice faults instead of
+// silently corrupting the snapshot file or the page cache.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -1,0 +1,16 @@
+//go:build !(linux || darwin)
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+var errNoMmap = errors.New("dataset: mmap not supported on this platform")
+
+func mmapFile(_ *os.File, _ int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmapFile(_ []byte) error { return nil }

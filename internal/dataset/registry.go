@@ -48,6 +48,10 @@ type Source struct {
 	// FromSnapshot records that the source was loaded from a file, so
 	// callers know the Scale/seed parameters were ignored.
 	FromSnapshot bool
+	// Snap is the backing snapshot for file-loaded sources (nil for
+	// synthetic and edge-list ones). Its MappedBytes/Close expose the
+	// mmap lifecycle to callers that own the source.
+	Snap *Snapshot
 }
 
 // BuildFunc synthesizes a Source at the given scale. The rng is the
@@ -181,15 +185,17 @@ func (r *Registry) Open(name string, scale gen.Scale, rng *xrand.RNG) (*Source, 
 }
 
 // OpenFile loads a Source from a file, sniffing the format: binary
-// snapshots by magic, anything else parsed as a text edge list (plain
-// or gzip) with weighted-cascade probabilities attached.
+// snapshots by magic (preferring the zero-copy LoadMmap path, which
+// itself falls back to the copy loader where mmap cannot apply),
+// anything else parsed as a text edge list (plain or gzip) with
+// weighted-cascade probabilities attached.
 func OpenFile(path string) (*Source, error) {
 	snap, err := IsSnapshot(path)
 	if err != nil {
 		return nil, err
 	}
 	if snap {
-		s, err := Load(path)
+		s, err := LoadMmap(path)
 		if err != nil {
 			return nil, err
 		}
@@ -225,6 +231,7 @@ func SourceOf(s *Snapshot) *Source {
 		Model:        s.Model,
 		Ads:          s.Ads,
 		FromSnapshot: true,
+		Snap:         s,
 	}
 }
 

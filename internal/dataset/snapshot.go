@@ -15,8 +15,11 @@
 package dataset
 
 import (
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -94,6 +97,11 @@ type Snapshot struct {
 	// Ads is optional (may be empty): a frozen advertiser roster, so an
 	// instance can be reproduced without re-drawing budgets.
 	Ads []topic.Ad
+
+	// mapping is the read-only file mapping backing this snapshot when
+	// it was produced by LoadMmap (nil on the copy path). The Graph and
+	// Model arrays may alias it; release with Close.
+	mapping []byte
 }
 
 // Write encodes the snapshot to w in one buffered sequential pass.
@@ -245,18 +253,74 @@ func Save(path string, s *Snapshot) error {
 }
 
 // Load reads a snapshot from the named file. Gzip-compressed snapshots
-// are detected by magic and decompressed transparently.
+// are detected by magic and decompressed transparently. Plain files
+// have their trailer CRC verified with a streaming pass before any
+// parsing, so a truncated or bit-flipped multi-GB snapshot fails fast
+// instead of allocating graph-sized arrays first.
 func Load(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	r, err := maybeGzip(f)
-	if err != nil {
-		return nil, errFormat("gzip header: %v", err)
+	var hdr [2]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, badRead(err)
 	}
-	return Read(r)
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if hdr[0] == 0x1f && hdr[1] == 0x8b {
+		// Gzip hides the trailer offset; the decode pass itself verifies.
+		r, err := maybeGzip(f)
+		if err != nil {
+			return nil, errFormat("gzip header: %v", err)
+		}
+		return Read(r)
+	}
+	if err := verifyFileCRC(f); err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return Read(bufio.NewReaderSize(f, 1<<20))
+}
+
+// verifyFileCRC streams the file once through a fixed 1MB buffer,
+// checking the trailing CRC-32C against everything before it — the
+// fail-fast integrity gate for uncompressed snapshot files. Memory use
+// is constant regardless of file size.
+func verifyFileCRC(f *os.File) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size < int64(len(snapshotMagic))+4 {
+		return errFormat("file too small to be a snapshot (%d bytes)", size)
+	}
+	var crc uint32
+	buf := make([]byte, 1<<20)
+	for remain := size - 4; remain > 0; {
+		n := int64(len(buf))
+		if n > remain {
+			n = remain
+		}
+		if _, err := io.ReadFull(f, buf[:n]); err != nil {
+			return badRead(err)
+		}
+		crc = crc32.Update(crc, crcTable, buf[:n])
+		remain -= n
+	}
+	var trailer [4]byte
+	if _, err := io.ReadFull(f, trailer[:]); err != nil {
+		return badRead(err)
+	}
+	if stored := binary.LittleEndian.Uint32(trailer[:]); stored != crc {
+		return errFormat("checksum mismatch: stored %08x, computed %08x", stored, crc)
+	}
+	return nil
 }
 
 // IsSnapshot reports whether the named file begins with the snapshot

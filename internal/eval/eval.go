@@ -109,6 +109,10 @@ type Params struct {
 	// incrementally repaired only when their stale fraction exceeds this
 	// bound (0 = repair on any staleness, the exact default).
 	MaxStaleFraction float64
+	// Shards is the engine's RR-shard count (0 = the historical unsharded
+	// path, 1 = the shard layer with bit-identical output; see
+	// core.EngineOptions.Shards).
+	Shards int
 	// AlphaPoints is the number of α grid points per incentive model
 	// (default 5, as in Figures 2–3).
 	AlphaPoints int
@@ -171,6 +175,7 @@ type workbenchKey struct {
 	sampleWorkers    int
 	sampleBatch      int
 	maxStaleFraction float64
+	shards           int
 }
 
 var workbenchCache = struct {
@@ -211,6 +216,7 @@ func NewWorkbench(name string, params Params) (*Workbench, error) {
 		sampleWorkers:    params.SampleWorkers,
 		sampleBatch:      params.SampleBatch,
 		maxStaleFraction: params.MaxStaleFraction,
+		shards:           params.Shards,
 	}
 	workbenchCache.Lock()
 	defer workbenchCache.Unlock()
@@ -237,6 +243,7 @@ func buildWorkbench(name string, params Params) (*Workbench, error) {
 		Workers:          params.SampleWorkers,
 		SampleBatch:      params.SampleBatch,
 		MaxStaleFraction: params.MaxStaleFraction,
+		Shards:           params.Shards,
 	})
 	l := w.Model.NumTopics()
 
@@ -385,6 +392,7 @@ type RunResult struct {
 	Theta         []int
 	RRSets        int64 // total RR sets sampled across ads
 	SampleWorkers int   // RR-sampling scratch slots for the run
+	Shards        int   // engine RR-shard count (0 = unsharded path)
 }
 
 // RRThroughput returns the sampling-dominated runs' headline rate: RR sets
@@ -417,6 +425,7 @@ func RunAlgorithm(ctx context.Context, eng *core.Engine, p *core.Problem, alg Al
 			Workers:          params.SampleWorkers,
 			SampleBatch:      params.SampleBatch,
 			MaxStaleFraction: params.MaxStaleFraction,
+			Shards:           params.Shards,
 		})
 	}
 	opt := core.Options{
@@ -473,6 +482,7 @@ func RunAlgorithm(ctx context.Context, eng *core.Engine, p *core.Problem, alg Al
 		Theta:         stats.Theta,
 		RRSets:        stats.TotalRRSets,
 		SampleWorkers: stats.SampleWorkers,
+		Shards:        stats.Shards,
 	}, nil
 }
 

@@ -30,6 +30,14 @@ type BenchReport struct {
 	Scale         string `json:"scale"`
 	Seed          uint64 `json:"seed"`
 	Workers       int    `json:"workers"`
+	// Shards is the engine RR-shard count the run was configured with
+	// (0 = the unsharded path).
+	Shards int `json:"shards"`
+	// PeakRSSBytes is the process's peak resident set (VmHWM) at report
+	// time — the whole-run memory high-water mark, the number the
+	// mmap-vs-copy loading comparison is about. 0 when the platform
+	// doesn't expose it.
+	PeakRSSBytes int64 `json:"peak_rss_bytes,omitempty"`
 
 	Experiments []BenchExperiment `json:"experiments"`
 }
@@ -71,6 +79,7 @@ type BenchRun struct {
 	RRMemoryBytes      int64   `json:"rr_memory_bytes"`
 	SamplerMemoryBytes int64   `json:"sampler_memory_bytes"`
 	SampleWorkers      int     `json:"sample_workers"`
+	Shards             int     `json:"shards,omitempty"`
 }
 
 // NewBenchReport starts a report for the given harness parameters.
@@ -90,6 +99,7 @@ func NewBenchReport(params Params, gitSHA, gitDate string) *BenchReport {
 		Scale:         params.Scale.String(),
 		Seed:          params.Seed,
 		Workers:       workers,
+		Shards:        params.Shards,
 	}
 }
 
@@ -129,6 +139,7 @@ func BenchRunOf(res RunResult) BenchRun {
 		RRMemoryBytes:      res.MemBytes,
 		SamplerMemoryBytes: res.SamplerBytes,
 		SampleWorkers:      res.SampleWorkers,
+		Shards:             res.Shards,
 	}
 }
 
@@ -146,6 +157,7 @@ func BenchRunOfScale(pt ScalePoint) BenchRun {
 		RRMemoryBytes:      pt.MemBytes,
 		SamplerMemoryBytes: pt.SamplerBytes,
 		SampleWorkers:      pt.Workers,
+		Shards:             pt.Shards,
 	}
 }
 
@@ -165,6 +177,12 @@ func (r *BenchReport) Validate() error {
 	}
 	if r.Workers < 1 {
 		return fmt.Errorf("eval: report workers %d < 1", r.Workers)
+	}
+	if r.Shards < 0 {
+		return fmt.Errorf("eval: report shards %d < 0", r.Shards)
+	}
+	if r.PeakRSSBytes < 0 {
+		return fmt.Errorf("eval: report peak_rss_bytes %d < 0", r.PeakRSSBytes)
 	}
 	if len(r.Experiments) == 0 {
 		return fmt.Errorf("eval: report has no experiments")
@@ -205,6 +223,9 @@ func (r *BenchReport) Validate() error {
 			}
 			if run.SampleWorkers < 1 {
 				return fmt.Errorf("eval: experiment %q run %d has sample_workers %d < 1", exp.ID, j, run.SampleWorkers)
+			}
+			if run.Shards < 0 {
+				return fmt.Errorf("eval: experiment %q run %d has shards %d < 0", exp.ID, j, run.Shards)
 			}
 		}
 	}

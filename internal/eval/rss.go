@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+)
+
+// PeakRSSBytes returns the process's peak resident set size (the kernel's
+// VmHWM high-water mark) in bytes, or 0 on platforms that don't expose
+// /proc/self/status. Unlike a point-in-time RSS sample it is monotone, so
+// reading it once after a run captures the run's true memory ceiling —
+// this is the number that distinguishes the mmap snapshot path (pages
+// come and go with the page cache) from the copy path (the whole decoded
+// snapshot is anonymous memory, resident for the process lifetime).
+func PeakRSSBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

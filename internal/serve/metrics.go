@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 )
 
 // metrics holds the server-level counters exported at /metrics. All
@@ -36,6 +37,7 @@ type engineRow struct {
 	universeBytes int64
 	samplerBytes  int64
 	workers       int64
+	shards        int64
 	generation    int64
 }
 
@@ -64,6 +66,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	gauge("rmserved_running_sessions", "Sessions currently holding an admission slot.", s.adm.running())
 	gauge("rmserved_queue_depth", "Sessions waiting for an admission slot.", s.adm.queueDepth())
 	gauge("rmserved_cache_entries", "Entries in the result cache.", s.cache.len())
+	gauge("rmserved_snapshot_mmap_bytes", "Bytes of dataset snapshots currently memory-mapped (zero-copy load path).", dataset.MmapActiveBytes())
 
 	counter("rmserved_solves_total", "Solve sessions dispatched to an engine (cache hits excluded).", s.met.solves.Load())
 	counter("rmserved_evaluates_total", "Evaluate sessions dispatched to an engine (cache hits excluded).", s.met.evaluates.Load())
@@ -108,6 +111,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		func(r engineRow) int64 { return r.samplerBytes })
 	emit("rmserved_engine_workers", "RR-sampling scratch slots of the engine.", "gauge",
 		func(r engineRow) int64 { return r.workers })
+	emit("rm_shards", "RR-shard count of the engine (0 = unsharded path).", "gauge",
+		func(r engineRow) int64 { return r.shards })
 	emit("rmserved_graph_generation", "Serving graph generation of the engine (0 until its first mutate).", "gauge",
 		func(r engineRow) int64 { return r.generation })
 	emit("rmserved_engine_mutations_total", "Completed generation swaps on this engine.", "counter",
@@ -142,6 +147,7 @@ func (s *Server) engineRows() []engineRow {
 			universeBytes: e.CachedUniverseBytes(),
 			samplerBytes:  e.SamplerMemoryBytes(),
 			workers:       int64(e.Workers()),
+			shards:        int64(e.Shards()),
 			generation:    int64(e.Generation()),
 		})
 	}

@@ -75,6 +75,11 @@ type Config struct {
 	// result cache assume by default.
 	Workers     int
 	SampleBatch int
+	// Shards is every engine's RR-shard count (core.EngineOptions.Shards):
+	// 0 keeps the historical unsharded path, 1 exercises the shard layer
+	// with bit-identical results, >1 samples shards in parallel. Part of
+	// the engines' determinism key, fixed per server like Workers.
+	Shards int
 	// SingletonRuns is the workbench's Monte-Carlo budget for singleton
 	// spreads on the quality datasets (0 = the eval default).
 	SingletonRuns int
@@ -278,6 +283,7 @@ func (s *Server) workbench(name string, h int) (*eval.Workbench, error) {
 		SampleWorkers:    s.cfg.Workers,
 		SampleBatch:      s.cfg.SampleBatch,
 		MaxStaleFraction: s.cfg.MaxStaleFraction,
+		Shards:           s.cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

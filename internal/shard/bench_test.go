@@ -1,0 +1,44 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// benchGraph builds a 20k-node digraph with a heavy-tailed-ish degree
+// profile, large enough that per-shard sampling dominates coordination.
+func benchGraph() *graph.Graph {
+	rng := xrand.New(42)
+	const n, m = 20_000, 120_000
+	b := graph.NewBuilder(n, m)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Int31n(n), rng.Int31n(n))
+	}
+	return b.Build()
+}
+
+// BenchmarkShardedSampling measures RR sampling throughput at shard
+// counts 1/2/4 with single-worker per-shard pools: the scaling curve
+// the bench-smoke CI step tracks (throughput should rise monotonically
+// with S — each shard is an independent sampler).
+func BenchmarkShardedSampling(b *testing.B) {
+	g := benchGraph()
+	probs := constProbs(g, 0.05)
+	const setsPerOp = 4096
+	for _, s := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("S=%d", s), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				grp := NewGroup(g.NumNodes(), newPools(g, s, 1), probs, uint64(i)+1)
+				if err := grp.Grow(context.Background(), setsPerOp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(setsPerOp)*float64(b.N)/b.Elapsed().Seconds(), "sets/s")
+		})
+	}
+}

@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"testing"
+
+	"repro/internal/rrset"
+	"repro/internal/xrand"
+)
+
+// FuzzMergedCoverage drives MergedView against the single-universe
+// oracle on randomized shard counts, universe sizes and set contents:
+// merged NumSetsContaining, every node's CovCount, and the full greedy
+// (MaxCovCount, CoverBy) trajectory — interleaved with adversarial
+// off-trajectory CoverBy calls — must be indistinguishable from a
+// single universe holding the same sets in global draw order.
+func FuzzMergedCoverage(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(8), uint16(10))
+	f.Add(uint64(2), uint8(3), uint8(16), uint16(50))
+	f.Add(uint64(3), uint8(5), uint8(4), uint16(0))
+	f.Add(uint64(4), uint8(8), uint8(32), uint16(200))
+	f.Fuzz(func(t *testing.T, seed uint64, shards, nodes uint8, numSets uint16) {
+		s := int(shards)%8 + 1
+		n := int32(nodes)%32 + 1
+		total := int(numSets) % 256
+		rng := xrand.New(seed)
+
+		// Random global draw sequence, partitioned to shards by i mod S.
+		grp := &Group{
+			n:         n,
+			universes: make([]*rrset.Universe, s),
+			streams:   make([]*rrset.Stream, s),
+		}
+		for i := range grp.universes {
+			grp.universes[i] = rrset.NewUniverse(n)
+		}
+		oracle := rrset.NewUniverse(n)
+		seen := make(map[int32]bool, 8)
+		for i := 0; i < total; i++ {
+			// An RR set is a nonempty list of distinct nodes (capped by the
+			// node count, or drawing distinct members could never finish).
+			size := int(rng.Int31n(5)) + 1
+			if size > int(n) {
+				size = int(n)
+			}
+			for k := range seen {
+				delete(seen, k)
+			}
+			var set []int32
+			for len(set) < size {
+				v := rng.Int31n(n)
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				set = append(set, v)
+			}
+			grp.universes[i%s].Add(set)
+			oracle.Add(set)
+		}
+
+		for v := int32(0); v < n; v++ {
+			if got, want := grp.NumSetsContaining(v), oracle.NumSetsContaining(v); got != want {
+				t.Fatalf("NumSetsContaining(%d): merged %d, oracle %d", v, got, want)
+			}
+		}
+
+		mv := NewView(grp)
+		ov := rrset.NewView(oracle)
+		if mv.Size() != ov.Size() {
+			t.Fatalf("Size: merged %d, oracle %d", mv.Size(), ov.Size())
+		}
+		for round := 0; round < 64; round++ {
+			for v := int32(0); v < n; v++ {
+				if mv.CovCount(v) != ov.CovCount(v) {
+					t.Fatalf("round %d CovCount(%d): merged %d, oracle %d",
+						round, v, mv.CovCount(v), ov.CovCount(v))
+				}
+			}
+			// Off-trajectory tombstoning must stay in lockstep too.
+			if round%3 == 2 {
+				v := rng.Int31n(n)
+				if a, b := mv.CoverBy(v), ov.CoverBy(v); a != b {
+					t.Fatalf("round %d CoverBy(%d): merged %d, oracle %d", round, v, a, b)
+				}
+				continue
+			}
+			mn, mc := mv.MaxCovCount(nil)
+			on, oc := ov.MaxCovCount(nil)
+			if mn != on || mc != oc {
+				t.Fatalf("round %d MaxCovCount: merged (%d,%d), oracle (%d,%d)",
+					round, mn, mc, on, oc)
+			}
+			if mc == 0 {
+				break
+			}
+			if a, b := mv.CoverBy(mn), ov.CoverBy(on); a != b {
+				t.Fatalf("round %d CoverBy(%d): merged %d, oracle %d", round, mn, a, b)
+			}
+			if mv.NumCovered() != ov.NumCovered() {
+				t.Fatalf("round %d NumCovered: merged %d, oracle %d",
+					round, mv.NumCovered(), ov.NumCovered())
+			}
+		}
+	})
+}

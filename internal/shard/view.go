@@ -1,0 +1,153 @@
+package shard
+
+import "repro/internal/rrset"
+
+// MergedView is one advertiser's coverage state over a sharded sample:
+// the shard-composition analogue of rrset.View. Per-shard state is a
+// packed coverage bitset and a synced prefix length; the marginal
+// coverage counts of all shards are summed into ONE merged bucket
+// queue, so CovCount/MaxCovCount answer over the union of the shards'
+// synced prefixes in the same O(1)/O(top-bucket) time as the unsharded
+// view — the selection loops cannot tell the difference.
+//
+// Equivalence contract (fuzz-tested against the single-universe
+// oracle): a global prefix of T draws maps to shard-local prefixes
+// CountFor(T, s, S); every set of the conceptual single-stream sample
+// appears in exactly one shard, so the merged queue's counts equal the
+// oracle's counts set for set, and because the bucket queue's
+// MaxEligible is a pure function of counts (lowest node ID at the
+// maximum), the greedy pick sequence is identical too. Selection marks
+// covered sets shard-locally: CoverBy walks each shard's inverted index
+// up to that shard's synced prefix.
+type MergedView struct {
+	g       *Group
+	covered []bitset // per shard, indexed by local set ID
+	synced  []int    // per shard, local prefix length
+	total   int      // sum of synced — this view's θ
+	bq      rrset.BucketQueue
+	nCov    int
+}
+
+var _ rrset.CoverageState = (*MergedView)(nil)
+
+// NewView creates a merged view over the group's current contents.
+func NewView(g *Group) *MergedView {
+	return NewViewPrefix(g, g.Size())
+}
+
+// NewViewPrefix creates a merged view over the first min(limit, Size())
+// global draws of the group — the prefix semantics the engine's
+// cross-solve cache needs so a pre-grown group replays exactly the
+// sample sizes a cold run would have seen.
+func NewViewPrefix(g *Group, limit int) *MergedView {
+	v := &MergedView{
+		g:       g,
+		covered: make([]bitset, g.NumShards()),
+		synced:  make([]int, g.NumShards()),
+	}
+	v.bq.Init(g.n)
+	v.SyncTo(limit)
+	return v
+}
+
+// Sync integrates every group set added since the last sync; see SyncTo.
+func (v *MergedView) Sync() int { return v.SyncTo(v.g.Size()) }
+
+// SyncTo integrates group sets beyond the view's current prefix up to
+// (but never beyond) the first min(limit, Size()) global draws,
+// returning how many sets were integrated. A limit at or below the
+// current prefix is a no-op — views never shrink.
+func (v *MergedView) SyncTo(limit int) int {
+	if limit > v.g.Size() {
+		limit = v.g.Size()
+	}
+	s := len(v.synced)
+	added := 0
+	for i := 0; i < s; i++ {
+		u := v.g.universes[i]
+		ls := CountFor(limit, i, s)
+		if ls > u.Size() {
+			ls = u.Size() // partial growth: sync only what exists
+		}
+		if ls <= v.synced[i] {
+			continue
+		}
+		v.covered[i].extend(ls)
+		for id := v.synced[i]; id < ls; id++ {
+			for _, x := range u.Set(int32(id)) {
+				v.bq.Inc(x)
+			}
+			added++
+		}
+		v.total += ls - v.synced[i]
+		v.synced[i] = ls
+	}
+	return added
+}
+
+// CovCount implements rrset.CoverageState on the merged counts.
+func (v *MergedView) CovCount(node int32) int32 { return v.bq.Count(node) }
+
+// CoverBy implements rrset.CoverageState: tombstone every live synced
+// set containing node, shard-locally, decrementing the merged counts of
+// each tombstoned set's members. Allocation-free.
+func (v *MergedView) CoverBy(node int32) int {
+	newly := 0
+	for i, u := range v.g.universes {
+		it := u.SetsContaining(node)
+		for id, ok := it.Next(); ok; id, ok = it.Next() {
+			if int(id) >= v.synced[i] {
+				break // ascending IDs: the rest are beyond this view's prefix
+			}
+			if v.covered[i].get(id) {
+				continue
+			}
+			v.covered[i].set(id)
+			newly++
+			for _, x := range u.Set(id) {
+				v.bq.Dec(x)
+			}
+		}
+	}
+	v.nCov += newly
+	return newly
+}
+
+// NumCovered implements rrset.CoverageState.
+func (v *MergedView) NumCovered() int { return v.nCov }
+
+// Size implements rrset.CoverageState: the global synced prefix is this
+// view's θ.
+func (v *MergedView) Size() int { return v.total }
+
+// MaxCovCount implements rrset.CoverageState via the merged bucket
+// queue, with the unsharded reference's exact tie-break semantics.
+func (v *MergedView) MaxCovCount(eligible func(v int32) bool) (node int32, count int32) {
+	return v.bq.MaxEligible(eligible)
+}
+
+// MemoryFootprint implements rrset.CoverageState: only the view's own
+// state — the shard universes are accounted by the group's owner.
+func (v *MergedView) MemoryFootprint() int64 {
+	total := v.bq.Bytes()
+	for i := range v.covered {
+		total += v.covered[i].bytes()
+	}
+	return total
+}
+
+// bitset is a packed bit array over local set IDs, grown by extend.
+type bitset []uint64
+
+// extend grows the bitset to hold at least n bits, zero-filled.
+func (b *bitset) extend(n int) {
+	words := (n + 63) / 64
+	for len(*b) < words {
+		*b = append(*b, 0)
+	}
+}
+
+func (b bitset) get(i int32) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << uint(i&63) }
+
+func (b bitset) bytes() int64 { return int64(cap(b)) * 8 }

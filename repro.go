@@ -322,6 +322,14 @@ func SaveSnapshot(path string, s *Snapshot) error { return dataset.Save(path, s)
 // transparently). Malformed input errors wrap ErrBadSnapshot.
 func LoadSnapshot(path string) (*Snapshot, error) { return dataset.Load(path) }
 
+// LoadSnapshotMmap maps a snapshot file read-only and returns a
+// Snapshot whose arrays alias the mapping — constant heap cost no
+// matter the file size, the loader for beyond-RAM graphs. Falls back
+// to the copy path where mmap cannot apply (gzip, foreign endianness,
+// unsupported platform); either way the result is bit-identical to
+// LoadSnapshot. Release the mapping with (*Snapshot).Close.
+func LoadSnapshotMmap(path string) (*Snapshot, error) { return dataset.LoadMmap(path) }
+
 // LoadGraphFile streams a text edge-list file (plain or gzip) into a
 // Graph.
 func LoadGraphFile(path string) (*Graph, error) { return dataset.LoadEdgeList(path) }
