@@ -196,7 +196,8 @@ func BenchmarkAblationWindow(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.TICSRM(p, core.Options{
+				if _, _, err := core.RunWith(context.Background(), nil, p, core.Options{
+					Mode:    core.ModeCostSensitive,
 					Epsilon: 0.3, Seed: 9, Window: w, MaxThetaPerAd: 20000,
 				}); err != nil {
 					b.Fatal(err)
@@ -450,7 +451,8 @@ func BenchmarkEngineTICSRM(b *testing.B) {
 	p := &core.Problem{Graph: g, Model: model, Ads: ads, Incentives: incs}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.TICSRM(p, core.Options{
+		if _, _, err := core.RunWith(context.Background(), nil, p, core.Options{
+			Mode:    core.ModeCostSensitive,
 			Epsilon: 0.3, Seed: uint64(i), MaxThetaPerAd: 20000,
 		}); err != nil {
 			b.Fatal(err)

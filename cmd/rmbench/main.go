@@ -43,7 +43,7 @@ import (
 )
 
 var (
-	experiment = flag.String("experiment", "all", "experiment IDs (comma separated): table1|table2|table3|fig1|fig2|fig3|fig4|fig5a|fig5b|fig5c|fig5d|shards|all")
+	experiment = flag.String("experiment", "all", "experiment IDs (comma separated): table1|table2|table3|fig1|fig2|fig3|fig4|fig5a|fig5b|fig5c|fig5d|shards|frontier|all")
 	scaleFlag  = flag.String("scale", "small", "dataset scale: tiny|small|medium|full")
 	seed       = flag.Uint64("seed", 1, "random seed")
 	hFlag      = flag.Int("h", 10, "number of advertisers (quality experiments)")
@@ -444,6 +444,29 @@ func runOne(ctx context.Context, id string, p eval.Params) (result, error) {
 			tables: []*eval.Table{eval.ShardScalingTable(points)},
 			runs:   scaleRuns(points),
 		}, nil
+
+	case "frontier":
+		ds, err := datasetList()
+		if err != nil {
+			return result{}, err
+		}
+		points, err := eval.Frontier(ctx, ds, p, progress())
+		if err != nil {
+			return result{}, err
+		}
+		// One table per dataset so each frontier reads as its own figure.
+		var res result
+		for _, name := range ds {
+			var sub []eval.FrontierPoint
+			for _, pt := range points {
+				if pt.Dataset == name {
+					sub = append(sub, pt)
+				}
+			}
+			res.tables = append(res.tables, eval.FrontierTable(sub))
+		}
+		res.runs = eval.FrontierRuns(points, p)
+		return res, nil
 
 	case "ablation-competition":
 		ds, err := datasetList()

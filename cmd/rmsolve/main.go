@@ -39,7 +39,7 @@ var (
 	snapFlag  = flag.String("snapshot", "", "solve on a snapshot/edge-list file instead of a synthesized preset (overrides -dataset/-scale)")
 	scaleFlag = flag.String("scale", "tiny", "dataset scale: tiny|small|medium|full")
 	hFlag     = flag.Int("h", 4, "number of advertisers")
-	algFlag   = flag.String("alg", "ti-csrm", "algorithm: ti-csrm|ti-carm|pagerank-gr|pagerank-rr")
+	algFlag   = flag.String("alg", core.DefaultModeName, "algorithm: "+strings.Join(core.ModeNames(), "|"))
 	kindFlag  = flag.String("kind", "linear", "incentive model: linear|constant|sublinear|superlinear")
 	alpha     = flag.Float64("alpha", 0.2, "incentive scale α (paper's full-scale value)")
 	epsFlag   = flag.Float64("eps", 0.1, "estimation accuracy ε")
@@ -123,26 +123,20 @@ func run(ctx context.Context) error {
 
 	// One Engine per dataset/model: the workbench already constructed it
 	// with this run's -workers/-batch; every solve and evaluation below is
-	// a session on it.
+	// a session on it. Algorithm dispatch is registry-driven: the mode's
+	// capability flags decide the auxiliary inputs, so this CLI never
+	// grows another switch when an algorithm lands.
 	eng := w.Engine()
-	var (
-		alloc *core.Allocation
-		stats *core.Stats
-	)
-	switch strings.ToLower(*algFlag) {
-	case "ti-csrm":
-		opt.Mode = core.ModeCostSensitive
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	case "ti-carm":
-		opt.Mode = core.ModeCostAgnostic
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	case "pagerank-gr":
-		alloc, stats, err = baseline.PageRankGR(ctx, eng, p, opt)
-	case "pagerank-rr":
-		alloc, stats, err = baseline.PageRankRR(ctx, eng, p, opt)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algFlag)
+	mode, err := core.ParseMode(*algFlag)
+	if err != nil {
+		return err
 	}
+	info, _ := core.ModeInfo(mode)
+	opt.Mode = mode
+	if info.NeedsPRScores {
+		opt.PRScores = baseline.ScoresForProblem(p, baseline.PageRankOptions{})
+	}
+	alloc, stats, err := eng.Solve(ctx, p, opt)
 	if err != nil {
 		if stats != nil && errors.Is(err, core.ErrCanceled) {
 			fmt.Fprintf(os.Stderr, "partial work before cancellation: %d RR sets in %v\n",
@@ -163,7 +157,7 @@ func run(ctx context.Context) error {
 	}
 	fmt.Printf("dataset=%s scale=%s nodes=%d edges=%d h=%d alg=%s kind=%s alpha=%g eps=%g\n",
 		w.Dataset.Name, scale, p.Graph.NumNodes(), p.Graph.NumEdges(), *hFlag,
-		*algFlag, kind, *alpha, *epsFlag)
+		info.Name, kind, *alpha, *epsFlag)
 	fmt.Printf("solved in %v; %d RR sets, %.1f MB RR memory + %.1f MB sampler scratch, %d workers, %d shards, %.0f RR sets/sec\n",
 		stats.Duration.Round(1e6), stats.TotalRRSets,
 		float64(stats.RRMemoryBytes)/(1<<20),

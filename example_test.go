@@ -13,7 +13,7 @@ import (
 // randomness is seed-pinned, so this output is deterministic.
 func Example() {
 	w, err := repro.NewWorkbench("flixster", repro.Params{
-		Scale: repro.ScaleTiny, H: 2, SingletonRuns: 100, Workers: 2,
+		Scale: repro.ScaleTiny, H: 2, SingletonRuns: 100, SampleWorkers: 2,
 	})
 	if err != nil {
 		fmt.Println("workbench:", err)
@@ -21,8 +21,8 @@ func Example() {
 	}
 	p := w.Problem(repro.Linear, 0.2)
 
-	alloc, stats, err := repro.TICSRM(p, repro.Options{
-		Epsilon: 0.3, Seed: 1, MaxThetaPerAd: 20_000, Workers: 2,
+	alloc, stats, err := w.Engine().Solve(context.Background(), p, repro.Options{
+		Mode: repro.ModeCostSensitive, Epsilon: 0.3, Seed: 1, MaxThetaPerAd: 20_000,
 	})
 	if err != nil {
 		fmt.Println("solve:", err)

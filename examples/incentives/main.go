@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,16 +38,22 @@ func main() {
 		{repro.Superlinear, 0.0008},
 	}
 	opt := repro.Options{Epsilon: 0.15, Seed: 3, MaxThetaPerAd: 200000}
+	ctx := context.Background()
+	eng := w.Engine()
 
 	fmt.Printf("%-12s  %-8s  %12s  %12s  %14s  %14s\n",
 		"incentive", "alpha", "CARM-revenue", "CSRM-revenue", "CARM-seedcost", "CSRM-seedcost")
 	for _, c := range cases {
 		p := w.Problem(c.kind, c.alpha)
-		ca, _, err := repro.TICARM(p, opt)
+		caOpt := opt
+		caOpt.Mode = repro.ModeCostAgnostic
+		ca, _, err := eng.Solve(ctx, p, caOpt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		cs, _, err := repro.TICSRM(p, opt)
+		csOpt := opt
+		csOpt.Mode = repro.ModeCostSensitive
+		cs, _, err := eng.Solve(ctx, p, csOpt)
 		if err != nil {
 			log.Fatal(err)
 		}

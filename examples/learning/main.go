@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -56,8 +57,9 @@ func main() {
 			incs[i] = incentive.Build(incentive.Linear, 0.2, sigma)
 		}
 		p := &core.Problem{Graph: g, Model: model, Ads: ads, Incentives: incs}
-		alloc, _, err := core.TICSRM(p, core.Options{
-			Epsilon: 0.2, Seed: 7, MaxThetaPerAd: 100000,
+		eng := core.NewEngine(g, model, core.EngineOptions{})
+		alloc, _, err := eng.Solve(context.Background(), p, core.Options{
+			Mode: core.ModeCostSensitive, Epsilon: 0.2, Seed: 7, MaxThetaPerAd: 100000,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,9 +1,12 @@
 // Marketplace: the paper's headline comparison (Figure 2) in miniature —
-// four allocation strategies compete on the same EPINIONS-like
-// marketplace of 10 advertisers, scored by one independent Monte-Carlo
-// evaluator. All four solves (and all four evaluations) are sessions on
-// the workbench's one long-lived Engine: the scratch pool and edge
-// probabilities are built once, every run after the first starts warm.
+// every registered allocation algorithm competes on the same
+// EPINIONS-like marketplace of 10 advertisers, scored by one independent
+// Monte-Carlo evaluator. The roster comes straight from the algorithm
+// registry (repro.Algorithms), so a newly registered mode shows up here
+// without touching this file; all solves (and all evaluations) are
+// sessions on the workbench's one long-lived Engine: the scratch pool
+// and edge probabilities are built once, every run after the first
+// starts warm.
 //
 //	go run ./examples/marketplace
 package main
@@ -34,35 +37,24 @@ func main() {
 	opt := repro.Options{Epsilon: 0.1, Seed: 7, MaxThetaPerAd: 400000}
 	eng := w.Engine()
 
-	type runner struct {
-		name string
-		run  func() (*repro.Allocation, *repro.Stats, error)
-	}
-	runners := []runner{
-		{"PageRank-RR", func() (*repro.Allocation, *repro.Stats, error) {
-			return repro.PageRankRR(ctx, eng, p, opt)
-		}},
-		{"PageRank-GR", func() (*repro.Allocation, *repro.Stats, error) {
-			return repro.PageRankGR(ctx, eng, p, opt)
-		}},
-		{"TI-CARM", func() (*repro.Allocation, *repro.Stats, error) {
-			o := opt
-			o.Mode = repro.ModeCostAgnostic
-			return eng.Solve(ctx, p, o)
-		}},
-		{"TI-CSRM", func() (*repro.Allocation, *repro.Stats, error) {
-			o := opt
-			o.Mode = repro.ModeCostSensitive
-			return eng.Solve(ctx, p, o)
-		}},
-	}
+	// PageRank candidate rankings, computed once and shared by every
+	// mode whose registry entry asks for them.
+	var prScores [][]float64
 
 	fmt.Printf("%-12s  %10s  %10s  %7s  %9s\n", "algorithm", "revenue", "seed-cost", "seeds", "time")
 	var best string
 	bestRevenue := -1.0
-	for _, r := range runners {
+	for _, info := range repro.Algorithms() {
+		o := opt
+		o.Mode = info.Mode
+		if info.NeedsPRScores {
+			if prScores == nil {
+				prScores = repro.PageRankScores(p)
+			}
+			o.PRScores = prScores
+		}
 		start := time.Now()
-		alloc, _, err := r.run()
+		alloc, _, err := eng.Solve(ctx, p, o)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,10 +64,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-12s  %10.1f  %10.1f  %7d  %9v\n",
-			r.name, ev.TotalRevenue(), ev.TotalSeedCost(), alloc.NumSeeds(),
+			info.Display, ev.TotalRevenue(), ev.TotalSeedCost(), alloc.NumSeeds(),
 			elapsed.Round(time.Millisecond))
 		if ev.TotalRevenue() > bestRevenue {
-			bestRevenue, best = ev.TotalRevenue(), r.name
+			bestRevenue, best = ev.TotalRevenue(), info.Display
 		}
 	}
 	fmt.Printf("\nwinner: %s — the paper's Figure 2 finding is that TI-CSRM wins\n", best)

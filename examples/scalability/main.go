@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,23 +38,17 @@ func main() {
 			log.Fatal(err)
 		}
 		p := wh.Problem(repro.Linear, 0.2)
-		for _, alg := range []string{"TI-CARM", "TI-CSRM"} {
-			opt := repro.Options{Epsilon: 0.3, Seed: 9, MaxThetaPerAd: 50000}
-			var (
-				alloc *repro.Allocation
-				stats *repro.Stats
-			)
-			if alg == "TI-CARM" {
-				alloc, stats, err = repro.TICARM(p, opt)
-			} else {
+		for _, mode := range []repro.Mode{repro.ModeCostAgnostic, repro.ModeCostSensitive} {
+			opt := repro.Options{Mode: mode, Epsilon: 0.3, Seed: 9, MaxThetaPerAd: 50000}
+			if mode == repro.ModeCostSensitive {
 				opt.Window = 64 // the paper uses w=5000 at full scale
-				alloc, stats, err = repro.TICSRM(p, opt)
 			}
+			alloc, stats, err := wh.Engine().Solve(context.Background(), p, opt)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("%4d  %-8s  %10v  %8.1fMB  %8d\n",
-				h, alg, stats.Duration.Round(1e6),
+				h, mode, stats.Duration.Round(1e6),
 				float64(stats.RRMemoryBytes)/(1<<20), alloc.NumSeeds())
 		}
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,12 +29,15 @@ func main() {
 	}
 	p := w.Problem(repro.Linear, 0.3)
 	n := int(p.Graph.NumNodes())
+	eng := w.Engine()
+	ctx := context.Background()
 
 	fmt.Printf("window sweep on %d nodes (w=0 means full window)\n\n", n)
 	fmt.Printf("%8s  %12s  %10s\n", "window", "revenue", "time")
 	for _, win := range []int{1, 8, 32, 128, 0} {
 		start := time.Now()
-		alloc, _, err := repro.TICSRM(p, repro.Options{
+		alloc, _, err := eng.Solve(ctx, p, repro.Options{
+			Mode:          repro.ModeCostSensitive,
 			Epsilon:       0.3,
 			Seed:          5,
 			Window:        win,

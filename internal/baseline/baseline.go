@@ -129,6 +129,10 @@ func ScoresForProblem(p *core.Problem, opt PageRankOptions) [][]float64 {
 // solve executes on eng (a long-lived session Engine for the problem's
 // graph/model); a nil eng uses a throwaway one, reproducing the historical
 // one-shot behavior.
+//
+// Deprecated: call Engine.Solve with core.ModePRGreedy and
+// Options.PRScores (ScoresForProblem computes them) instead; the registry
+// entry's NeedsPRScores flag tells callers when scores are required.
 func PageRankGR(ctx context.Context, eng *core.Engine, p *core.Problem, opt core.Options) (*core.Allocation, *core.Stats, error) {
 	opt.Mode = core.ModePRGreedy
 	if opt.PRScores == nil {
@@ -140,6 +144,9 @@ func PageRankGR(ctx context.Context, eng *core.Engine, p *core.Problem, opt core
 // PageRankRR runs the PageRank-RR baseline: ad-specific PageRank candidate
 // selection with round-robin assignment over advertisers. See PageRankGR
 // for the eng contract.
+//
+// Deprecated: call Engine.Solve with core.ModePRRoundRobin and
+// Options.PRScores (ScoresForProblem computes them) instead.
 func PageRankRR(ctx context.Context, eng *core.Engine, p *core.Problem, opt core.Options) (*core.Allocation, *core.Stats, error) {
 	opt.Mode = core.ModePRRoundRobin
 	if opt.PRScores == nil {

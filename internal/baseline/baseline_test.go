@@ -152,7 +152,9 @@ func TestPageRankGRAndRREndToEnd(t *testing.T) {
 func TestTICSRMBeatsPageRankBaselines(t *testing.T) {
 	p := smallProblem(3, 7)
 	opt := core.Options{Epsilon: 0.3, Seed: 9, MaxThetaPerAd: 50000}
-	cs, _, err := core.TICSRM(p, opt)
+	csOpt := opt
+	csOpt.Mode = core.ModeCostSensitive
+	cs, _, err := core.RunWith(context.Background(), nil, p, csOpt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,18 +31,24 @@ const (
 	// ModePRRoundRobin is the PageRank-RR baseline: candidates by
 	// ad-specific PageRank order, ads served in round-robin order.
 	ModePRRoundRobin
+	// ModeOnePassCostAgnostic is HC-CARM, modeled on Han & Cui et al.
+	// (arXiv:2107.04997): TI-CARM's selection rule, but the latent
+	// seed-set size s̃ is estimated once up front from the initial
+	// L(1, ε) sample and full budget, the RR sample is extended to
+	// L(s̃, ε) in a single step, and the greedy pass runs with no
+	// further growth events or heap rebuilds.
+	ModeOnePassCostAgnostic
+	// ModeOnePassCostSensitive is HC-CSRM: the one-pass scheme of
+	// ModeOnePassCostAgnostic with TI-CSRM's cost-sensitive selection
+	// rule (coverage-to-cost candidates, revenue-per-payment across
+	// ads). Options.Window applies as in TI-CSRM.
+	ModeOnePassCostSensitive
 )
 
+// String returns the registry display label ("TI-CSRM", "HC-CARM", ...).
 func (m Mode) String() string {
-	switch m {
-	case ModeCostAgnostic:
-		return "TI-CARM"
-	case ModeCostSensitive:
-		return "TI-CSRM"
-	case ModePRGreedy:
-		return "PageRank-GR"
-	case ModePRRoundRobin:
-		return "PageRank-RR"
+	if info, ok := ModeInfo(m); ok {
+		return info.Display
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
@@ -184,12 +190,20 @@ type Stats struct {
 }
 
 // TICARM runs the scalable cost-agnostic algorithm.
+//
+// Deprecated: construct an Engine once and use Engine.Solve with
+// ModeCostAgnostic; this one-shot wrapper builds a throwaway Engine per
+// call. Retained for bit-compatible historical runs.
 func TICARM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	opt.Mode = ModeCostAgnostic
 	return Run(p, opt)
 }
 
 // TICSRM runs the scalable cost-sensitive algorithm.
+//
+// Deprecated: construct an Engine once and use Engine.Solve with
+// ModeCostSensitive; this one-shot wrapper builds a throwaway Engine per
+// call. Retained for bit-compatible historical runs.
 func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	opt.Mode = ModeCostSensitive
 	return Run(p, opt)
@@ -199,6 +213,9 @@ func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 // sized from the options — the legacy one-shot entry point, bit-for-bit
 // compatible with the historical engine under a fixed
 // (Seed, Workers, SampleBatch).
+//
+// Deprecated: use Engine.Solve on a long-lived Engine (NewEngine); Run
+// rebuilds scratch pools and edge-probability caches on every call.
 func Run(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return RunWith(context.Background(), nil, p, opt)
 }
@@ -352,6 +369,11 @@ type solver struct {
 	ctx  context.Context
 	p    *Problem
 	opt  Options
+	// info is the registry entry for opt.Mode (validated before the
+	// session starts); candidate selection and growth dispatch on its
+	// capability flags rather than on Mode values, so new modes compose
+	// from flags instead of widening switches.
+	info AlgorithmInfo
 	n    int32
 	m    int64
 	// pool is the Engine-wide sampling scratch pool: every ad's sampler
@@ -479,10 +501,18 @@ func (e *solver) solve() (*Allocation, error) {
 		}
 	}
 	var err error
-	if e.opt.Mode == ModePRRoundRobin {
-		err = e.runRoundRobin()
-	} else {
-		err = e.runGreedy()
+	if e.info.OnePass {
+		// Han–Cui one-shot sample sizing: fix every ad's s̃ and final θ
+		// now, before the first seed, so the greedy pass below runs
+		// without growth events or heap rebuilds.
+		err = e.presizeOnePass()
+	}
+	if err == nil {
+		if e.info.RoundRobin {
+			err = e.runRoundRobin()
+		} else {
+			err = e.runGreedy()
+		}
 	}
 	if err != nil {
 		return nil, err
@@ -722,34 +752,29 @@ func (e *solver) thetaFor(ad *adState, s int) int {
 	return int(math.Ceil(t))
 }
 
-// heapKey computes the selection key of a node for the configured mode.
-// The mode is validated before the session starts, so the default arm is
-// unreachable.
+// heapKey computes the selection key of a node from the mode's registry
+// capability flags. The mode is validated before the session starts.
 func (e *solver) heapKey(ad *adState, v int32) float64 {
-	switch e.opt.Mode {
-	case ModeCostAgnostic:
-		return float64(ad.coll.CovCount(v))
-	case ModeCostSensitive:
-		if e.opt.Window > 0 {
-			// Windowed search pops by coverage and picks the best ratio
-			// among the top w.
-			return float64(ad.coll.CovCount(v))
-		}
+	switch {
+	case e.info.NeedsPRScores:
+		return e.opt.PRScores[ad.idx][v]
+	case e.info.CostSensitive && e.opt.Window == 0:
 		c := e.p.Incentives[ad.idx].Cost(v)
 		if c < 1e-12 {
 			c = 1e-12
 		}
 		return float64(ad.coll.CovCount(v)) / c
-	case ModePRGreedy, ModePRRoundRobin:
-		return e.opt.PRScores[ad.idx][v]
+	default:
+		// Cost-agnostic modes, and windowed cost-sensitive search (which
+		// pops by coverage and picks the best ratio among the top w).
+		return float64(ad.coll.CovCount(v))
 	}
-	return 0
 }
 
 // keyStale reports whether a heap entry's key no longer matches the
 // current state. PageRank keys are static and never stale.
 func (e *solver) keyStale(ad *adState, ent candEntry) bool {
-	if e.opt.Mode == ModePRGreedy || e.opt.Mode == ModePRRoundRobin {
+	if e.info.NeedsPRScores {
 		return false
 	}
 	return ent.key != e.heapKey(ad, ent.node)
@@ -800,7 +825,7 @@ func (e *solver) selectCandidate(ad *adState) bool {
 	if ad.cand.valid {
 		return true
 	}
-	if e.opt.Mode == ModeCostSensitive && e.opt.Window > 0 {
+	if e.info.CostSensitive && e.opt.Window > 0 {
 		return e.selectWindowed(ad)
 	}
 	for ad.heap.Len() > 0 {
@@ -889,8 +914,10 @@ func (e *solver) assign(ad *adState, c candidate) error {
 		}
 	}
 	e.emitProgress(ProgressSeedAssigned, ad, v)
-	// Latent seed-set size update (lines 17–22, Eq. 10).
-	if len(ad.seeds) >= ad.s {
+	// Latent seed-set size update (lines 17–22, Eq. 10). One-pass modes
+	// sized s̃ up front and never grow mid-pass: past s̃ the sample stays
+	// at L(s̃, ε) and later seeds keep the fixed-θ estimates.
+	if len(ad.seeds) >= ad.s && !e.info.OnePass {
 		return e.grow(ad)
 	}
 	return nil
@@ -1027,7 +1054,7 @@ func (e *solver) runGreedy() error {
 			better := false
 			if bestAd == nil {
 				better = true
-			} else if e.opt.Mode == ModeCostSensitive {
+			} else if e.info.CostSensitive {
 				better = c.ratio > best.ratio
 			} else {
 				better = c.mpi > best.mpi

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Every registered algorithm round-trips: ParseMode accepts both the
+// canonical name and the display label (case-insensitively, ignoring
+// surrounding space), and Mode.String returns the display label.
+func TestModeStringParseBijection(t *testing.T) {
+	algos := Algorithms()
+	if len(algos) < 6 {
+		t.Fatalf("registry has %d algorithms, expected at least 6", len(algos))
+	}
+	seenMode := map[Mode]bool{}
+	seenName := map[string]bool{}
+	for _, info := range algos {
+		if seenMode[info.Mode] || seenName[info.Name] {
+			t.Fatalf("duplicate registry entry for %q (mode %d)", info.Name, info.Mode)
+		}
+		seenMode[info.Mode], seenName[info.Name] = true, true
+		for _, spelling := range []string{
+			info.Name,
+			info.Display,
+			strings.ToUpper(info.Name),
+			"  " + info.Name + "  ",
+		} {
+			m, err := ParseMode(spelling)
+			if err != nil {
+				t.Errorf("ParseMode(%q): %v", spelling, err)
+			} else if m != info.Mode {
+				t.Errorf("ParseMode(%q) = %v, want %v", spelling, m, info.Mode)
+			}
+		}
+		if got := info.Mode.String(); got != info.Display {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(info.Mode), got, info.Display)
+		}
+		if info.Paper == "" || info.Description == "" {
+			t.Errorf("%q: registry entry missing paper or description", info.Name)
+		}
+	}
+	if _, err := ParseMode(DefaultModeName); err != nil {
+		t.Errorf("DefaultModeName %q does not parse: %v", DefaultModeName, err)
+	}
+	if len(ModeNames()) != len(algos) {
+		t.Errorf("ModeNames() has %d entries, registry %d", len(ModeNames()), len(algos))
+	}
+}
+
+// Unknown names error by enumerating the registered ones, wrapping the
+// ErrUnknownMode sentinel — the contract CLI flag parsing and the
+// serving layer's 400 responses rely on.
+func TestParseModeUnknown(t *testing.T) {
+	_, err := ParseMode("celf++")
+	if err == nil {
+		t.Fatal("ParseMode accepted an unregistered name")
+	}
+	if !errors.Is(err, ErrUnknownMode) {
+		t.Errorf("error does not wrap ErrUnknownMode: %v", err)
+	}
+	var ue *UnknownModeError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error is not *UnknownModeError: %T", err)
+	}
+	for _, name := range ModeNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %q", err, name)
+		}
+	}
+}
+
+// Unregistered Mode values degrade visibly, never silently.
+func TestModeInfoUnregistered(t *testing.T) {
+	if _, ok := ModeInfo(Mode(99)); ok {
+		t.Error("ModeInfo(99) claimed a registration")
+	}
+	if got := Mode(99).String(); got != "Mode(99)" {
+		t.Errorf("Mode(99).String() = %q", got)
+	}
+}
+
+// No string-switch mode parsing outside the registry: the only Go file
+// in the module allowed to compare a string literal against a canonical
+// algorithm name is registry.go. Everything else must go through
+// ParseMode/ModeInfo, so a new algorithm is one registry entry, not a
+// hunt for stale switches.
+func TestNoModeStringSwitchesOutsideRegistry(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := regexp.MustCompile(`(case\s+|==\s*|!=\s*)"(ti-csrm|ti-carm|hc-csrm|hc-carm|pagerank-gr|pagerank-rr)"`)
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") ||
+			filepath.Base(path) == "registry.go" {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if pat.MatchString(line) {
+				t.Errorf("%s:%d: mode name compared against a string literal; use core.ParseMode/ModeInfo", path, i+1)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -526,6 +526,8 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 	}
 	opt.Workers = sn.pool.Workers()
 	opt.SampleBatch = sn.pool.BatchSize()
+	// validateSolve already proved the mode is registered.
+	info, _ := ModeInfo(opt.Mode)
 	start := time.Now()
 	s := &solver{
 		eng:      e,
@@ -533,6 +535,7 @@ func (e *Engine) Solve(ctx context.Context, p *Problem, opt Options) (*Allocatio
 		ctx:      ctx,
 		p:        p,
 		opt:      opt,
+		info:     info,
 		n:        p.Graph.NumNodes(),
 		m:        p.Graph.NumEdges(),
 		pool:     sn.pool,
@@ -598,10 +601,10 @@ func (e *Engine) validateSolve(p *Problem, opt Options) (*snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	switch opt.Mode {
-	case ModeCostAgnostic, ModeCostSensitive, ModePRGreedy, ModePRRoundRobin:
-	default:
-		return nil, fmt.Errorf("core: %w: unknown mode %d", ErrInvalidProblem, int(opt.Mode))
+	info, ok := ModeInfo(opt.Mode)
+	if !ok {
+		return nil, fmt.Errorf("core: %w: unregistered mode %d (registered algorithms: %v)",
+			ErrInvalidProblem, int(opt.Mode), ModeNames())
 	}
 	if opt.Epsilon <= 0 || opt.Ell <= 0 {
 		return nil, fmt.Errorf("core: %w: epsilon and ell must be positive (got ε=%v, ℓ=%v)",
@@ -610,9 +613,9 @@ func (e *Engine) validateSolve(p *Problem, opt Options) (*snapshot, error) {
 	if opt.Window < 0 || opt.MaxThetaPerAd < 1 {
 		return nil, fmt.Errorf("core: %w: window must be ≥ 0 and maxTheta ≥ 1", ErrInvalidProblem)
 	}
-	if opt.Mode == ModePRGreedy || opt.Mode == ModePRRoundRobin {
+	if info.NeedsPRScores {
 		if len(opt.PRScores) != p.NumAds() {
-			return nil, fmt.Errorf("core: %w: PageRank mode needs PRScores for all %d ads", ErrInvalidProblem, p.NumAds())
+			return nil, fmt.Errorf("core: %w: %s needs PRScores for all %d ads", ErrInvalidProblem, info.Display, p.NumAds())
 		}
 		for i, scores := range opt.PRScores {
 			if int64(len(scores)) != int64(p.Graph.NumNodes()) {

@@ -37,31 +37,8 @@ func CompetitionAblation(ctx context.Context, dataset string, alpha float64, par
 	}
 	for _, alg := range PaperAlgorithms() {
 		progress(fmt.Sprintf("%s %v", dataset, alg))
-		opt := core.Options{
-			Epsilon:       params.Epsilon,
-			Window:        params.Window,
-			Seed:          params.Seed,
-			MaxThetaPerAd: params.MaxThetaPerAd,
-		}
 		eng := w.Engine()
-		var (
-			alloc *core.Allocation
-			err   error
-		)
-		switch alg {
-		case AlgTICSRM:
-			opt.Mode = core.ModeCostSensitive
-			alloc, _, err = eng.Solve(ctx, p, opt)
-		case AlgTICARM:
-			opt.Mode = core.ModeCostAgnostic
-			alloc, _, err = eng.Solve(ctx, p, opt)
-		case AlgPageRankGR:
-			opt.PRScores = prScores
-			alloc, _, err = baseline.PageRankGR(ctx, eng, p, opt)
-		case AlgPageRankRR:
-			opt.PRScores = prScores
-			alloc, _, err = baseline.PageRankRR(ctx, eng, p, opt)
-		}
+		alloc, _, err := SolveAlgorithm(ctx, eng, p, alg, params, prScores)
 		if err != nil {
 			return nil, err
 		}

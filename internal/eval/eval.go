@@ -44,24 +44,65 @@ const (
 	// AlgRandom is an extra ablation baseline: random candidates with
 	// round-robin assignment.
 	AlgRandom
+	// AlgHCCSRM is the one-pass cost-sensitive competitor (Han & Cui et
+	// al., arXiv:2107.04997) running as core.ModeOnePassCostSensitive.
+	AlgHCCSRM
+	// AlgHCCARM is the one-pass cost-agnostic competitor.
+	AlgHCCARM
 )
 
-func (a Algorithm) String() string {
-	switch a {
-	case AlgTICSRM:
-		return "TI-CSRM"
-	case AlgTICARM:
-		return "TI-CARM"
-	case AlgPageRankGR:
-		return "PageRank-GR"
-	case AlgPageRankRR:
-		return "PageRank-RR"
-	case AlgHighDegree:
-		return "HighDegree-GR"
-	case AlgRandom:
-		return "Random-RR"
+// algSpec bridges an eval Algorithm onto the core registry: which engine
+// mode it runs, an optional display override (the ablation baselines
+// reuse the PageRank modes under their own labels), and how its PRScores
+// are produced when the mode needs them. privateScores algorithms always
+// compute their own scores, ignoring any shared ones from the caller.
+type algSpec struct {
+	mode          core.Mode
+	display       string
+	scores        func(p *core.Problem, seed uint64) [][]float64
+	privateScores bool
+}
+
+var algSpecs = map[Algorithm]algSpec{
+	AlgTICSRM:     {mode: core.ModeCostSensitive},
+	AlgTICARM:     {mode: core.ModeCostAgnostic},
+	AlgHCCSRM:     {mode: core.ModeOnePassCostSensitive},
+	AlgHCCARM:     {mode: core.ModeOnePassCostAgnostic},
+	AlgPageRankGR: {mode: core.ModePRGreedy, scores: pagerankScores},
+	AlgPageRankRR: {mode: core.ModePRRoundRobin, scores: pagerankScores},
+	AlgHighDegree: {mode: core.ModePRGreedy, display: "HighDegree-GR", privateScores: true,
+		scores: func(p *core.Problem, _ uint64) [][]float64 { return baseline.HighDegreeScores(p) }},
+	AlgRandom: {mode: core.ModePRRoundRobin, display: "Random-RR", privateScores: true,
+		scores: func(p *core.Problem, seed uint64) [][]float64 { return baseline.RandomScores(p, seed) }},
+}
+
+func pagerankScores(p *core.Problem, _ uint64) [][]float64 {
+	return baseline.ScoresForProblem(p, baseline.PageRankOptions{})
+}
+
+// ModeAlgorithm maps a registered core mode back to the eval Algorithm
+// that runs it under its canonical label — the Frontier driver's bridge
+// from core.Algorithms() to RunAlgorithm. The ablation-only baselines
+// (AlgHighDegree, AlgRandom) share modes with the PageRank algorithms
+// but never claim them here.
+func ModeAlgorithm(m core.Mode) (Algorithm, bool) {
+	for alg, spec := range algSpecs {
+		if spec.mode == m && spec.display == "" {
+			return alg, true
+		}
 	}
-	return fmt.Sprintf("Algorithm(%d)", int(a))
+	return 0, false
+}
+
+func (a Algorithm) String() string {
+	spec, ok := algSpecs[a]
+	if !ok {
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+	if spec.display != "" {
+		return spec.display
+	}
+	return spec.mode.String()
 }
 
 // PaperAlgorithms is the set compared throughout the paper's Figures 2–4.
@@ -408,6 +449,60 @@ func rrThroughput(sets int64, d time.Duration) float64 {
 	return float64(sets) / d.Seconds()
 }
 
+// SolveAlgorithm runs one algorithm's solve (without the Monte-Carlo
+// evaluation) through the given long-lived Engine (nil builds a
+// throwaway one). Dispatch is registry-driven: the algorithm's spec
+// names a core mode, the mode's capability flags decide whether window
+// search applies and whether PRScores must be supplied. PageRank scores
+// may be shared across calls via prScores (nil computes internally);
+// algorithms with private scores (HighDegree, Random) always compute
+// their own.
+func SolveAlgorithm(ctx context.Context, eng *core.Engine, p *core.Problem, alg Algorithm,
+	params Params, prScores [][]float64) (*core.Allocation, *core.Stats, error) {
+	params = params.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	spec, ok := algSpecs[alg]
+	if !ok {
+		return nil, nil, fmt.Errorf("eval: unknown algorithm %v", alg)
+	}
+	info, ok := core.ModeInfo(spec.mode)
+	if !ok {
+		return nil, nil, fmt.Errorf("eval: algorithm %v names unregistered mode %d", alg, int(spec.mode))
+	}
+	if eng == nil {
+		eng = core.NewEngine(p.Graph, p.Model, core.EngineOptions{
+			Workers:          params.SampleWorkers,
+			SampleBatch:      params.SampleBatch,
+			MaxStaleFraction: params.MaxStaleFraction,
+			Shards:           params.Shards,
+		})
+	}
+	opt := core.Options{
+		Mode:          spec.mode,
+		Epsilon:       params.Epsilon,
+		Window:        params.Window,
+		Seed:          params.Seed,
+		MaxThetaPerAd: params.MaxThetaPerAd,
+	}
+	if !info.SupportsWindow {
+		opt.Window = 0
+	}
+	if info.NeedsPRScores {
+		sc := prScores
+		if sc == nil || spec.privateScores {
+			sc = spec.scores(p, params.Seed)
+		}
+		opt.PRScores = sc
+	}
+	alloc, stats, err := eng.Solve(ctx, p, opt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("eval: %v failed: %w", alg, err)
+	}
+	return alloc, stats, nil
+}
+
 // RunAlgorithm executes one algorithm on a problem through the given
 // long-lived Engine (nil builds a throwaway one — the historical cold
 // path), evaluates the allocation with fresh Monte-Carlo, and returns the
@@ -428,44 +523,9 @@ func RunAlgorithm(ctx context.Context, eng *core.Engine, p *core.Problem, alg Al
 			Shards:           params.Shards,
 		})
 	}
-	opt := core.Options{
-		Epsilon:       params.Epsilon,
-		Window:        params.Window,
-		Seed:          params.Seed,
-		MaxThetaPerAd: params.MaxThetaPerAd,
-	}
-	var (
-		alloc *core.Allocation
-		stats *core.Stats
-		err   error
-	)
-	switch alg {
-	case AlgTICSRM:
-		opt.Mode = core.ModeCostSensitive
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	case AlgTICARM:
-		opt.Mode = core.ModeCostAgnostic
-		opt.Window = 0
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	case AlgPageRankGR:
-		opt.PRScores = prScores
-		alloc, stats, err = baseline.PageRankGR(ctx, eng, p, opt)
-	case AlgPageRankRR:
-		opt.PRScores = prScores
-		alloc, stats, err = baseline.PageRankRR(ctx, eng, p, opt)
-	case AlgHighDegree:
-		opt.Mode = core.ModePRGreedy
-		opt.PRScores = baseline.HighDegreeScores(p)
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	case AlgRandom:
-		opt.Mode = core.ModePRRoundRobin
-		opt.PRScores = baseline.RandomScores(p, params.Seed)
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	default:
-		return RunResult{}, fmt.Errorf("eval: unknown algorithm %v", alg)
-	}
+	alloc, stats, err := SolveAlgorithm(ctx, eng, p, alg, params, prScores)
 	if err != nil {
-		return RunResult{}, fmt.Errorf("eval: %v failed: %w", alg, err)
+		return RunResult{}, err
 	}
 	ev, err := eng.Evaluate(ctx, p, alloc, params.MCEvalRuns, params.Workers, params.Seed^0xabcdef)
 	if err != nil {

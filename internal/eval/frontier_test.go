@@ -1,0 +1,76 @@
+package eval
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The frontier sweep covers every registered algorithm on each dataset,
+// normalizes revenue to the TI-CSRM reference, and its bench conversion
+// survives schema validation — the rmbench -experiment=frontier path end
+// to end.
+func TestFrontierCoversRegistry(t *testing.T) {
+	params := tinyParams()
+	points, err := Frontier(context.Background(), []string{"epinions"}, params, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := core.Algorithms()
+	if len(points) != len(algos) {
+		t.Fatalf("got %d frontier points, want %d (one per registered algorithm)",
+			len(points), len(algos))
+	}
+	var sawRef bool
+	for i, pt := range points {
+		if pt.Info.Name != algos[i].Name {
+			t.Errorf("point %d is %q, want registry order %q", i, pt.Info.Name, algos[i].Name)
+		}
+		if pt.Seeds == 0 {
+			t.Errorf("%s allocated no seeds", pt.Info.Name)
+		}
+		if pt.RevenueRatio <= 0 {
+			t.Errorf("%s: revenue ratio %v not positive", pt.Info.Name, pt.RevenueRatio)
+		}
+		if pt.Speedup <= 0 {
+			t.Errorf("%s: speedup %v not positive", pt.Info.Name, pt.Speedup)
+		}
+		if pt.Info.Mode == core.ModeCostSensitive {
+			sawRef = true
+			if pt.RevenueRatio != 1 {
+				t.Errorf("reference revenue ratio = %v, want exactly 1", pt.RevenueRatio)
+			}
+		}
+	}
+	if !sawRef {
+		t.Error("frontier has no TI-CSRM reference row")
+	}
+
+	tbl := FrontierTable(points)
+	if len(tbl.Rows) != len(points) || len(tbl.Header) != 10 {
+		t.Errorf("frontier table shape %d×%d, want %d×10", len(tbl.Rows), len(tbl.Header), len(points))
+	}
+
+	report := NewBenchReport(params, "", "")
+	report.AddExperiment("frontier", time.Second, []*Table{tbl}, FrontierRuns(points, params))
+	if err := report.Validate(); err != nil {
+		t.Errorf("frontier bench report fails validation: %v", err)
+	}
+}
+
+// Every registered mode must have an eval bridge, or the frontier would
+// silently drop it.
+func TestModeAlgorithmCoversRegistry(t *testing.T) {
+	for _, info := range core.Algorithms() {
+		alg, ok := ModeAlgorithm(info.Mode)
+		if !ok {
+			t.Errorf("mode %q has no eval algorithm", info.Name)
+			continue
+		}
+		if got := alg.String(); got != info.Display {
+			t.Errorf("ModeAlgorithm(%q).String() = %q, want %q", info.Name, got, info.Display)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -31,11 +32,15 @@ func TestHeadlineCSRMBeatsCARM(t *testing.T) {
 	var caRev, csRev, caCost, csCost float64
 	for _, seed := range []uint64{7, 8, 9} {
 		opt := core.Options{Epsilon: 0.1, Seed: seed, MaxThetaPerAd: 400_000}
-		ca, _, err := core.TICARM(p, opt)
+		caOpt := opt
+		caOpt.Mode = core.ModeCostAgnostic
+		ca, _, err := core.RunWith(context.Background(), nil, p, caOpt)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cs, _, err := core.TICSRM(p, opt)
+		csOpt := opt
+		csOpt.Mode = core.ModeCostSensitive
+		cs, _, err := core.RunWith(context.Background(), nil, p, csOpt)
 		if err != nil {
 			t.Fatal(err)
 		}

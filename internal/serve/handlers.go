@@ -35,8 +35,10 @@ type SolveRequest struct {
 	// (default 0.2) is distinguishable from an explicit out-of-range
 	// value, which is rejected with a 400 instead of silently rewritten.
 	Alpha *float64 `json:"alpha,omitempty"`
-	// Mode is the algorithm: ti-csrm (default), ti-carm, pagerank-gr,
-	// pagerank-rr.
+	// Mode is the algorithm's canonical registry name (default
+	// core.DefaultModeName); GET /v1/algorithms enumerates the choices.
+	// Display spellings ("TI-CSRM") are accepted and canonicalized, so
+	// both share one result-cache entry.
 	Mode string `json:"mode,omitempty"`
 	// Epsilon is the RR estimation accuracy ε. Zero is the engine's
 	// own "use the default" sentinel (core.DefaultEpsilon = 0.1) — the
@@ -167,6 +169,9 @@ type ErrorResponse struct {
 	// Registered lists the dataset names that would have resolved (404
 	// unknown-dataset answers only).
 	Registered []string `json:"registered,omitempty"`
+	// Modes lists the algorithm names that would have resolved (400
+	// unknown-mode answers only).
+	Modes []string `json:"modes,omitempty"`
 	// RetryAfterSeconds echoes the Retry-After header (429 answers).
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 	// PartialStats carries the work done before a deadline or drain
@@ -189,6 +194,30 @@ type DatasetsResponse struct {
 // datasetNames returns the process-wide registry's names.
 func datasetNames() []string { return dataset.Default.Names() }
 
+// AlgorithmJSON is one registry entry in GET /v1/algorithms: identity,
+// provenance, and the capability flags clients dispatch on.
+type AlgorithmJSON struct {
+	Name           string `json:"name"`
+	Display        string `json:"display"`
+	Paper          string `json:"paper"`
+	Guarantee      string `json:"guarantee,omitempty"`
+	Description    string `json:"description"`
+	CostSensitive  bool   `json:"cost_sensitive"`
+	NeedsPageRank  bool   `json:"needs_pagerank"`
+	OnePass        bool   `json:"one_pass"`
+	RoundRobin     bool   `json:"round_robin"`
+	SupportsWindow bool   `json:"supports_window"`
+	SupportsShards bool   `json:"supports_shards"`
+	SupportsDeltas bool   `json:"supports_deltas"`
+}
+
+// AlgorithmsResponse is the body of GET /v1/algorithms.
+type AlgorithmsResponse struct {
+	Algorithms []AlgorithmJSON `json:"algorithms"`
+	// Default is the mode a /v1/solve without "mode" runs.
+	Default string `json:"default"`
+}
+
 // errDatasetNotServed is the allowlist miss: structurally the same
 // *dataset.UnknownError the registry raises, but enumerating only the
 // names this server agreed to serve.
@@ -201,6 +230,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
@@ -234,6 +264,30 @@ func (s *Server) handleDatasets(w http.ResponseWriter, _ *http.Request) {
 	}
 	for _, k := range s.warmKeys() {
 		resp.Warm = append(resp.Warm, fmt.Sprintf("%s/%d", k.name, k.h))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAlgorithms serves the core algorithm registry: every mode
+// /v1/solve accepts, with its capability flags, straight from
+// core.Algorithms() so the API can never drift from the engine.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	resp := AlgorithmsResponse{Default: core.DefaultModeName}
+	for _, info := range core.Algorithms() {
+		resp.Algorithms = append(resp.Algorithms, AlgorithmJSON{
+			Name:           info.Name,
+			Display:        info.Display,
+			Paper:          info.Paper,
+			Guarantee:      info.Guarantee,
+			Description:    info.Description,
+			CostSensitive:  info.CostSensitive,
+			NeedsPageRank:  info.NeedsPRScores,
+			OnePass:        info.OnePass,
+			RoundRobin:     info.RoundRobin,
+			SupportsWindow: info.SupportsWindow,
+			SupportsShards: info.SupportsShards,
+			SupportsDeltas: info.SupportsDeltas,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -362,20 +416,23 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		seed = *req.Seed
 	}
 	if req.Mode == "" {
-		req.Mode = "ti-csrm"
+		req.Mode = core.DefaultModeName
 	}
 	// ε=0 is core's "engine default" sentinel; pin it here so an omitted
 	// ε and an explicit default produce the same cache key.
 	if req.Epsilon == 0 {
 		req.Epsilon = core.DefaultEpsilon
 	}
-	switch req.Mode {
-	case "ti-csrm", "ti-carm", "pagerank-gr", "pagerank-rr":
-	default:
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, ErrorResponse{
-			Error: fmt.Sprintf("unknown mode %q (want ti-csrm|ti-carm|pagerank-gr|pagerank-rr)", req.Mode)})
+			Error: err.Error(), Modes: core.ModeNames()})
 		return
 	}
+	info, _ := core.ModeInfo(mode)
+	// Canonicalize before cache keying: "TI-CSRM" and "ti-csrm" are the
+	// same request and must share one cache entry.
+	req.Mode = info.Name
 
 	wb, err := s.workbench(req.Dataset, h)
 	if err != nil {
@@ -414,22 +471,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.met.solves.Add(1)
 
 	eng := wb.Engine()
-	var (
-		alloc *core.Allocation
-		stats *core.Stats
-	)
-	switch req.Mode {
-	case "ti-csrm":
-		opt.Mode = core.ModeCostSensitive
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	case "ti-carm":
-		opt.Mode = core.ModeCostAgnostic
-		alloc, stats, err = eng.Solve(ctx, p, opt)
-	case "pagerank-gr":
-		alloc, stats, err = baseline.PageRankGR(ctx, eng, p, opt)
-	case "pagerank-rr":
-		alloc, stats, err = baseline.PageRankRR(ctx, eng, p, opt)
+	opt.Mode = mode
+	if info.NeedsPRScores {
+		opt.PRScores = baseline.ScoresForProblem(p, baseline.PageRankOptions{})
 	}
+	alloc, stats, err := eng.Solve(ctx, p, opt)
 	if err != nil {
 		s.writeSessionError(ctx, w, err, stats)
 		return

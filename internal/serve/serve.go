@@ -15,6 +15,8 @@
 //     409;
 //   - GET  /v1/datasets  the registry names this server resolves, with
 //     warm-engine state;
+//   - GET  /v1/algorithms  the core algorithm registry: every mode
+//     /v1/solve accepts, with capability flags;
 //   - GET  /healthz /readyz /metrics  liveness, drain-aware readiness,
 //     and Prometheus-text metrics.
 //

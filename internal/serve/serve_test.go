@@ -809,3 +809,108 @@ func waitUntil(t *testing.T, timeout time.Duration, cond func() bool) {
 	}
 	t.Fatal("condition not reached in time")
 }
+
+// TestAlgorithmsEndpoint checks GET /v1/algorithms mirrors the core
+// registry exactly: every registered mode, in order, with its flags.
+func TestAlgorithmsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, tinyConfig())
+
+	resp, body := getBody(t, ts.URL+"/v1/algorithms")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("algorithms: %d %s", resp.StatusCode, body)
+	}
+	var ar AlgorithmsResponse
+	if err := json.Unmarshal(body, &ar); err != nil {
+		t.Fatalf("algorithms body: %v", err)
+	}
+	if ar.Default != core.DefaultModeName {
+		t.Errorf("default = %q, want %q", ar.Default, core.DefaultModeName)
+	}
+	algos := core.Algorithms()
+	if len(ar.Algorithms) != len(algos) {
+		t.Fatalf("%d algorithms served, registry has %d", len(ar.Algorithms), len(algos))
+	}
+	for i, a := range ar.Algorithms {
+		info := algos[i]
+		if a.Name != info.Name || a.Display != info.Display {
+			t.Errorf("entry %d = %s/%s, want %s/%s", i, a.Name, a.Display, info.Name, info.Display)
+		}
+		if a.NeedsPageRank != info.NeedsPRScores || a.CostSensitive != info.CostSensitive ||
+			a.OnePass != info.OnePass || a.RoundRobin != info.RoundRobin {
+			t.Errorf("%s: capability flags drifted from the registry", a.Name)
+		}
+	}
+}
+
+// TestSolveModeCanonicalization: a display-spelled mode ("HC-CSRM")
+// solves, is canonicalized in the response, and shares one cache entry
+// with the canonical spelling — the cache-key-covers-mode contract.
+func TestSolveModeCanonicalization(t *testing.T) {
+	_, ts := newTestServer(t, tinyConfig())
+
+	req := SolveRequest{Dataset: "flixster", H: 2, Mode: "HC-CSRM", Seed: up(7), Epsilon: 0.3, MaxThetaPerAd: 20000}
+	cold, coldBody := postJSON(t, ts.URL+"/v1/solve", req)
+	if cold.StatusCode != http.StatusOK {
+		t.Fatalf("display-spelled solve: %d %s", cold.StatusCode, coldBody)
+	}
+	var res SolveResult
+	if err := json.Unmarshal(coldBody, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "hc-csrm" {
+		t.Errorf("response mode = %q, want canonical hc-csrm", res.Mode)
+	}
+	if res.TotalSeeds == 0 {
+		t.Error("hc-csrm allocated no seeds")
+	}
+	req.Mode = "hc-csrm"
+	warm, warmBody := postJSON(t, ts.URL+"/v1/solve", req)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("canonical solve: %d", warm.StatusCode)
+	}
+	if h := warm.Header.Get("X-RM-Cache"); h != "hit" {
+		t.Errorf("canonical spelling missed the display-spelled entry (X-RM-Cache=%q)", h)
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Error("canonical-spelling hit is not bit-identical")
+	}
+
+	// A different mode with otherwise identical parameters must miss:
+	// the mode is part of the key.
+	req.Mode = "ti-csrm"
+	other, otherBody := postJSON(t, ts.URL+"/v1/solve", req)
+	if other.StatusCode != http.StatusOK {
+		t.Fatalf("ti-csrm solve: %d", other.StatusCode)
+	}
+	if h := other.Header.Get("X-RM-Cache"); h != "miss" {
+		t.Errorf("different mode replayed another mode's cache entry (X-RM-Cache=%q)", h)
+	}
+	var otherRes SolveResult
+	if err := json.Unmarshal(otherBody, &otherRes); err != nil {
+		t.Fatal(err)
+	}
+	if otherRes.Mode != "ti-csrm" {
+		t.Errorf("response mode = %q, want ti-csrm", otherRes.Mode)
+	}
+}
+
+// TestUnknownMode400ListsNames: the 400 for an unregistered mode
+// enumerates every valid name in the Modes field.
+func TestUnknownMode400ListsNames(t *testing.T) {
+	_, ts := newTestServer(t, tinyConfig())
+
+	resp, body := postJSON(t, ts.URL+"/v1/solve", SolveRequest{Dataset: "flixster", Mode: "celf"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown mode = %d, want 400", resp.StatusCode)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(er.Modes, core.ModeNames()) {
+		t.Errorf("modes = %v, want %v", er.Modes, core.ModeNames())
+	}
+	if !strings.Contains(er.Error, "celf") {
+		t.Errorf("error %q does not name the rejected mode", er.Error)
+	}
+}

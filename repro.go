@@ -15,7 +15,9 @@
 //   - Problem construction: dataset presets (gen), topic-aware propagation
 //     models (topic), incentive models (incentive);
 //   - Algorithms: the reference CA-GREEDY/CS-GREEDY, the scalable TI-CARM
-//     and TI-CSRM, and the PageRank baselines;
+//     and TI-CSRM, the one-pass HC-CARM/HC-CSRM competitors (Han & Cui et
+//     al.), and the PageRank baselines — all enumerated by the Algorithms
+//     registry and selected by canonical name via ParseMode;
 //   - Evaluation: an independent Monte-Carlo scorer plus the experiment
 //     drivers that regenerate every table and figure of the paper.
 //
@@ -32,8 +34,8 @@
 //	fmt.Println("revenue:", ev.TotalRevenue(), "in", stats.Duration)
 //
 // The legacy one-shot helpers (TICSRM, TICARM, PageRankGR/RR) remain as
-// thin wrappers over a throwaway Engine and reproduce historical results
-// bit for bit.
+// deprecated thin wrappers over a throwaway Engine and reproduce
+// historical results bit for bit.
 package repro
 
 import (
@@ -178,10 +180,12 @@ const (
 
 // Engine modes.
 const (
-	ModeCostAgnostic  = core.ModeCostAgnostic
-	ModeCostSensitive = core.ModeCostSensitive
-	ModePRGreedy      = core.ModePRGreedy
-	ModePRRoundRobin  = core.ModePRRoundRobin
+	ModeCostAgnostic         = core.ModeCostAgnostic
+	ModeCostSensitive        = core.ModeCostSensitive
+	ModePRGreedy             = core.ModePRGreedy
+	ModePRRoundRobin         = core.ModePRRoundRobin
+	ModeOnePassCostAgnostic  = core.ModeOnePassCostAgnostic
+	ModeOnePassCostSensitive = core.ModeOnePassCostSensitive
 )
 
 // Harness algorithms.
@@ -192,7 +196,48 @@ const (
 	AlgPageRankRR = eval.AlgPageRankRR
 	AlgHighDegree = eval.AlgHighDegree
 	AlgRandom     = eval.AlgRandom
+	AlgHCCSRM     = eval.AlgHCCSRM
+	AlgHCCARM     = eval.AlgHCCARM
 )
+
+// The algorithm registry: canonical names, capability flags, and parsing
+// for every engine mode. CLIs and services should select algorithms
+// through ParseMode and enumerate them with Algorithms, never by
+// switching on name strings.
+type (
+	// AlgorithmInfo is one registry entry (canonical name, Mode, paper,
+	// guarantee, capability flags).
+	AlgorithmInfo = core.AlgorithmInfo
+	// Mode selects an engine algorithm in Options.Mode.
+	Mode = core.Mode
+)
+
+// DefaultModeName is the canonical name of the default algorithm
+// (TI-CSRM, the paper's winner).
+const DefaultModeName = core.DefaultModeName
+
+// ErrUnknownMode is wrapped by every failed ParseMode; the concrete
+// *core.UnknownModeError enumerates the registered names.
+var ErrUnknownMode = core.ErrUnknownMode
+
+// Algorithms returns every registered engine algorithm in canonical
+// order.
+func Algorithms() []AlgorithmInfo { return core.Algorithms() }
+
+// ParseMode resolves a canonical or display algorithm name
+// (case-insensitively) to its engine Mode.
+func ParseMode(name string) (Mode, error) { return core.ParseMode(name) }
+
+// ModeInfo returns the registry entry for a Mode, reporting whether the
+// mode is registered.
+func ModeInfo(m Mode) (AlgorithmInfo, bool) { return core.ModeInfo(m) }
+
+// PageRankScores computes the influence-weighted PageRank candidate
+// rankings that the modes flagged AlgorithmInfo.NeedsPRScores require in
+// Options.PRScores (one per-node score slice per ad).
+func PageRankScores(p *Problem) [][]float64 {
+	return baseline.ScoresForProblem(p, baseline.PageRankOptions{})
+}
 
 // NewRNG returns a deterministic RNG for the given seed.
 func NewRNG(seed uint64) *RNG { return xrand.New(seed) }
@@ -204,25 +249,38 @@ func NewWorkbench(dataset string, params Params) (*Workbench, error) {
 }
 
 // TICSRM runs the scalable cost-sensitive algorithm (the paper's winner)
-// on a throwaway Engine — the legacy one-shot entry point. Long-lived
-// callers should Solve on one Engine instead.
+// on a throwaway Engine — the legacy one-shot entry point.
+//
+// Deprecated: construct an Engine once (NewEngine or Workbench.Engine)
+// and use Engine.Solve with ModeCostSensitive. Retained for bit-
+// compatible historical runs.
 func TICSRM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return core.TICSRM(p, opt)
 }
 
 // TICARM runs the scalable cost-agnostic algorithm on a throwaway Engine.
+//
+// Deprecated: use Engine.Solve with ModeCostAgnostic. Retained for
+// bit-compatible historical runs.
 func TICARM(p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return core.TICARM(p, opt)
 }
 
 // PageRankGR runs the PageRank + greedy-assignment baseline. A nil eng
 // uses a throwaway Engine (the historical one-shot behavior).
+//
+// Deprecated: use Engine.Solve with ModePRGreedy and Options.PRScores
+// (see baseline.ScoresForProblem). Retained for bit-compatible
+// historical runs.
 func PageRankGR(ctx context.Context, eng *Engine, p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return baseline.PageRankGR(ctx, eng, p, opt)
 }
 
 // PageRankRR runs the PageRank + round-robin baseline. A nil eng uses a
 // throwaway Engine.
+//
+// Deprecated: use Engine.Solve with ModePRRoundRobin and
+// Options.PRScores. Retained for bit-compatible historical runs.
 func PageRankRR(ctx context.Context, eng *Engine, p *Problem, opt Options) (*Allocation, *Stats, error) {
 	return baseline.PageRankRR(ctx, eng, p, opt)
 }
