@@ -1,0 +1,318 @@
+package integration
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// waitFor polls fn with exponential backoff plus jitter until it
+// succeeds or timeout passes — the integration suite's replacement for
+// fixed-sleep polling: fast when the condition is already true, gentle
+// on a loaded CI box when it is not.
+func waitFor(t *testing.T, timeout time.Duration, what string, fn func() error) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	deadline := time.Now().Add(timeout)
+	delay := 10 * time.Millisecond
+	for {
+		err := fn()
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("waiting for %s: %v", what, err)
+		}
+		time.Sleep(delay + time.Duration(rng.Int63n(int64(delay/2)+1)))
+		if delay < 500*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// waitHealthy blocks until the daemon answers /healthz with 200 ok.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	waitFor(t, 30*time.Second, base+"/healthz", func() error {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+			return fmt.Errorf("healthz = %d %q", resp.StatusCode, body)
+		}
+		return nil
+	})
+}
+
+// servedProc is one live rmserved process under test control.
+type servedProc struct {
+	t        *testing.T
+	cmd      *exec.Cmd
+	base     string
+	preamble []string // stdout lines before the listen announcement
+
+	mu     sync.Mutex
+	stderr strings.Builder
+	waited bool
+}
+
+// startServed launches rmserved with the given extra environment and
+// flags, waits for its listen announcement, and streams stderr into a
+// buffer the test can poll (the fault-injection markers arrive there).
+func startServed(t *testing.T, env []string, args ...string) *servedProc {
+	t.Helper()
+	p := &servedProc{t: t}
+	p.cmd = exec.Command(bin("rmserved"), append([]string{"-addr=127.0.0.1:0", "-scale=tiny"}, args...)...)
+	p.cmd.Env = append(os.Environ(), env...)
+	stdout, err := p.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatalf("stdout pipe: %v", err)
+	}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatalf("stderr pipe: %v", err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatalf("starting rmserved: %v", err)
+	}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		p.wait()
+	})
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			p.mu.Lock()
+			p.stderr.WriteString(sc.Text())
+			p.stderr.WriteString("\n")
+			p.mu.Unlock()
+		}
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		line := sc.Text()
+		if a, ok := strings.CutPrefix(line, "rmserved: listening on "); ok {
+			p.base = "http://" + a
+			break
+		}
+		p.preamble = append(p.preamble, line)
+	}
+	if p.base == "" {
+		t.Fatalf("rmserved never announced a listen address; stderr:\n%s", p.stderrText())
+	}
+	// Drain the rest of stdout so the child never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	waitHealthy(t, p.base)
+	return p
+}
+
+func (p *servedProc) stderrText() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stderr.String()
+}
+
+// wait reaps the process (once) and returns its exit error.
+func (p *servedProc) wait() error {
+	p.mu.Lock()
+	if p.waited {
+		p.mu.Unlock()
+		return nil
+	}
+	p.waited = true
+	p.mu.Unlock()
+	return p.cmd.Wait()
+}
+
+// stop SIGTERMs the daemon and waits for the orderly drain exit.
+func (p *servedProc) stop() {
+	p.t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		p.t.Fatalf("sending SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			p.t.Fatalf("rmserved exited non-zero after SIGTERM: %v\nstderr:\n%s", err, p.stderrText())
+		}
+	case <-time.After(60 * time.Second):
+		p.t.Fatal("rmserved did not exit within 60s of SIGTERM")
+	}
+}
+
+// kill SIGKILLs the daemon mid-flight — the simulated crash.
+func (p *servedProc) kill() {
+	p.t.Helper()
+	p.cmd.Process.Kill()
+	p.wait()
+}
+
+func postBody(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, out
+}
+
+// mutateArc applies a deterministic real graph change to arc (u, v):
+// add it, or — if the tiny preset already has it — remove it. Both
+// runs of a crash-recovery comparison start from the same synthetic
+// graph, so the adaptive choice resolves identically in each; the
+// returned request body lets a later phase replay the exact choice.
+func mutateArc(t *testing.T, base string, h int, u, v int) (uint64, string) {
+	t.Helper()
+	req := fmt.Sprintf(`{"dataset":"flixster","h":%d,"add_edges":[{"u":%d,"v":%d}]}`, h, u, v)
+	code, body := postBody(t, base+"/v1/mutate", req)
+	if code == http.StatusBadRequest {
+		req = fmt.Sprintf(`{"dataset":"flixster","h":%d,"remove_edges":[{"u":%d,"v":%d}]}`, h, u, v)
+		code, body = postBody(t, base+"/v1/mutate", req)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("mutate arc (%d,%d): %d %s", u, v, code, body)
+	}
+	var res struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	return res.Generation, req
+}
+
+// canonicalSolve runs the reference solve and returns (generation,
+// body with the wall-clock stats.duration_ms removed) — everything
+// else in a solve response is deterministic for fixed seed and worker
+// configuration, which is what recovery must reproduce byte for byte.
+func canonicalSolve(t *testing.T, base string) (uint64, []byte) {
+	t.Helper()
+	code, body := postBody(t, base+"/v1/solve",
+		`{"dataset":"flixster","h":2,"seed":7,"epsilon":0.3,"max_theta_per_ad":20000}`)
+	if code != http.StatusOK {
+		t.Fatalf("solve: %d %s", code, body)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	gen := uint64(m["generation"].(float64))
+	if stats, ok := m["stats"].(map[string]interface{}); ok {
+		delete(stats, "duration_ms")
+	}
+	canon, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen, canon
+}
+
+// TestRMServedCrashRecovery is the end-to-end durability proof from
+// ISSUE 10: a server is SIGKILLed in the crash window between the
+// durable WAL append and the acked generation swap, restarted on the
+// same WAL directory, and must come back serving the exact state of a
+// server that was never interrupted — same generation, byte-identical
+// solve.
+func TestRMServedCrashRecovery(t *testing.T) {
+	// Reference run: both mutations land on an uninterrupted server.
+	refWAL := t.TempDir()
+	ref := startServed(t, nil, "-wal="+refWAL)
+	g1, _ := mutateArc(t, ref.base, 2, 0, 1)
+	g2, secondMutation := mutateArc(t, ref.base, 2, 2, 3)
+	if g1 != 1 || g2 != 2 {
+		t.Fatalf("reference generations = %d, %d; want 1, 2", g1, g2)
+	}
+	wantGen, wantBody := canonicalSolve(t, ref.base)
+	if wantGen != 2 {
+		t.Fatalf("reference solve generation = %d, want 2", wantGen)
+	}
+	ref.stop()
+
+	// Crash run, phase 1: first mutation, clean shutdown.
+	crashWAL := t.TempDir()
+	p1 := startServed(t, nil, "-wal="+crashWAL)
+	if g, _ := mutateArc(t, p1.base, 2, 0, 1); g != 1 {
+		t.Fatalf("phase-1 generation = %d, want 1", g)
+	}
+	p1.stop()
+
+	// Phase 2: the second mutation stalls in the window where its record
+	// is durable but the swap is not yet acked — and the process is
+	// SIGKILLed right there. The client never hears back; the WAL did.
+	p2 := startServed(t, []string{"RM_FAILPOINTS=serve.mutate.precommit=sleep:60s"}, "-wal="+crashWAL)
+	if !strings.Contains(strings.Join(p2.preamble, "\n"), "WAL recovery replayed 1 mutation(s)") {
+		t.Fatalf("phase-2 startup did not replay the first mutation:\n%s", strings.Join(p2.preamble, "\n"))
+	}
+	go func() {
+		// The exact mutation the reference run acked as generation 2.
+		// Blocks in the failpoint until the kill severs the connection.
+		http.Post(p2.base+"/v1/mutate", "application/json", strings.NewReader(secondMutation))
+	}()
+	waitFor(t, 30*time.Second, "precommit failpoint marker", func() error {
+		if !strings.Contains(p2.stderrText(), "at serve.mutate.precommit") {
+			return fmt.Errorf("marker not yet on stderr")
+		}
+		return nil
+	})
+	p2.kill()
+
+	// Phase 3: restart on the crashed WAL. Recovery must replay both
+	// mutations — including the unacked one, because durability is
+	// decided by the log — and serve the reference state bit for bit.
+	p3 := startServed(t, nil, "-wal="+crashWAL)
+	if !strings.Contains(strings.Join(p3.preamble, "\n"), "WAL recovery replayed 2 mutation(s)") {
+		t.Fatalf("phase-3 startup did not replay both mutations:\n%s", strings.Join(p3.preamble, "\n"))
+	}
+	gotGen, gotBody := canonicalSolve(t, p3.base)
+	if gotGen != wantGen {
+		t.Fatalf("recovered generation = %d, want %d", gotGen, wantGen)
+	}
+	if !bytes.Equal(gotBody, wantBody) {
+		t.Fatalf("recovered solve diverges from uninterrupted run:\n want %s\n got  %s", wantBody, gotBody)
+	}
+	p3.stop()
+}
+
+// TestRMServedCrashBeforeAppendLosesNothingAcked is the complementary
+// atomicity direction: killing the server before any second mutation is
+// appended must leave recovery with exactly the acked history.
+func TestRMServedCrashBeforeAppendLosesNothingAcked(t *testing.T) {
+	dir := t.TempDir()
+	p1 := startServed(t, nil, "-wal="+dir)
+	if g, _ := mutateArc(t, p1.base, 2, 0, 1); g != 1 {
+		t.Fatalf("generation = %d, want 1", g)
+	}
+	p1.kill() // hard kill with no in-flight mutation
+
+	p2 := startServed(t, nil, "-wal="+dir)
+	if !strings.Contains(strings.Join(p2.preamble, "\n"), "WAL recovery replayed 1 mutation(s)") {
+		t.Fatalf("recovery after idle kill:\n%s", strings.Join(p2.preamble, "\n"))
+	}
+	gen, _ := canonicalSolve(t, p2.base)
+	if gen != 1 {
+		t.Fatalf("recovered generation = %d, want 1", gen)
+	}
+	p2.stop()
+}

@@ -172,23 +172,14 @@ func TestRMServedLifecycle(t *testing.T) {
 		t.Fatalf("rmserved never announced a listen address; stderr:\n%s", stderr.String())
 	}
 	base := "http://" + addr
-
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatalf("healthz: %v", err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
-		t.Fatalf("healthz = %d %q, want 200 \"ok\\n\"", resp.StatusCode, body)
-	}
+	waitHealthy(t, base)
 
 	solve := `{"dataset":"flixster","h":2,"epsilon":0.3,"max_theta_per_ad":20000}`
-	resp, err = http.Post(base+"/v1/solve", "application/json", strings.NewReader(solve))
+	resp, err := http.Post(base+"/v1/solve", "application/json", strings.NewReader(solve))
 	if err != nil {
 		t.Fatalf("solve: %v", err)
 	}
-	body, _ = io.ReadAll(resp.Body)
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("solve = %d, body: %s", resp.StatusCode, body)
@@ -333,24 +324,15 @@ func TestRMServedSnapshotUnderMemoryBudget(t *testing.T) {
 			stderr.String())
 	}
 	base := "http://" + addr
-
-	resp, err := http.Get(base + "/healthz")
-	if err != nil {
-		t.Fatalf("healthz under memory budget: %v", err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
-		t.Fatalf("healthz = %d %q, want 200 \"ok\\n\"", resp.StatusCode, body)
-	}
+	waitHealthy(t, base)
 
 	// The metrics endpoint must attribute the snapshot to the mmap path;
 	// seeing the full file size here is what certifies no copy happened.
-	resp, err = http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics")
 	if err != nil {
 		t.Fatalf("metrics: %v", err)
 	}
-	body, _ = io.ReadAll(resp.Body)
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	want := fmt.Sprintf("rmserved_snapshot_mmap_bytes %d", info.Size())
 	if !strings.Contains(string(body), want) {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/gen"
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 var (
@@ -55,6 +56,9 @@ var (
 	warmFlag   = flag.Bool("warm", false, "build engines for the -datasets list before listening")
 	maxEvalW   = flag.Int("max-eval-workers", 0, "cap on per-request /v1/evaluate parallelism (0 = max(GOMAXPROCS, 2))")
 	maxStale   = flag.Float64("max-stale", 0, "stale RR-set fraction tolerated before a /v1/mutate swap forces incremental repair (0 = always repair)")
+	walDir     = flag.String("wal", "", "directory for the durable mutation WAL (empty = mutations are volatile); startup replays it before listening")
+	walSync    = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync before ack) | never (crash loses the OS buffer tail)")
+	ckptEvery  = flag.Duration("checkpoint-interval", 0, "checkpoint mutated engines and compact their WALs this often (0 = only on POST /v1/checkpoint)")
 )
 
 func main() {
@@ -88,28 +92,49 @@ func run() error {
 		}
 		names = append(names, *snapFlag)
 	}
+	var syncPolicy wal.SyncPolicy
+	switch *walSync {
+	case "always":
+		syncPolicy = wal.SyncAlways
+	case "never":
+		syncPolicy = wal.SyncNever
+	default:
+		return fmt.Errorf("-wal-sync=%q: want always or never", *walSync)
+	}
 	srv := serve.New(serve.Config{
-		Scale:            scale,
-		DatasetSeed:      *dsSeed,
-		Datasets:         names,
-		DefaultH:         *defaultH,
-		MaxH:             *maxH,
-		Workers:          *workers,
-		SampleBatch:      *batch,
-		Shards:           *shardsFl,
-		MaxConcurrent:    *maxConc,
-		MaxQueue:         *maxQueue,
-		DefaultTimeout:   *timeoutFl,
-		MaxTimeout:       *maxTimeout,
-		CacheEntries:     *cacheSize,
-		DrainTimeout:     *drainFl,
-		MaxEvalWorkers:   *maxEvalW,
-		MaxStaleFraction: *maxStale,
+		Scale:              scale,
+		DatasetSeed:        *dsSeed,
+		Datasets:           names,
+		DefaultH:           *defaultH,
+		MaxH:               *maxH,
+		Workers:            *workers,
+		SampleBatch:        *batch,
+		Shards:             *shardsFl,
+		MaxConcurrent:      *maxConc,
+		MaxQueue:           *maxQueue,
+		DefaultTimeout:     *timeoutFl,
+		MaxTimeout:         *maxTimeout,
+		CacheEntries:       *cacheSize,
+		DrainTimeout:       *drainFl,
+		MaxEvalWorkers:     *maxEvalW,
+		MaxStaleFraction:   *maxStale,
+		WALDir:             *walDir,
+		WALSync:            syncPolicy,
+		CheckpointInterval: *ckptEvery,
 	})
 	if *warmFlag {
 		if err := srv.Warm(nil, 0); err != nil {
 			return err
 		}
+	}
+	if *walDir != "" {
+		// Recovery runs before the listener opens: the first request a
+		// client can reach already sees the pre-crash state.
+		replayed, err := srv.RecoverWAL()
+		if err != nil {
+			return fmt.Errorf("WAL recovery: %w", err)
+		}
+		fmt.Printf("rmserved: WAL recovery replayed %d mutation(s) from %s\n", replayed, *walDir)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/wal"
 )
 
 // Serving-layer types: the long-running HTTP solver service behind
@@ -32,9 +33,34 @@ type (
 	// with the new generation and RR-repair accounting.
 	MutateAPIRequest = serve.MutateRequest
 	MutateAPIResult  = serve.MutateResult
+	// CheckpointAPIRequest / CheckpointAPIResult are the POST
+	// /v1/checkpoint wire schema: snapshot one engine's serving state
+	// into its WAL directory and compact the mutation log onto it.
+	CheckpointAPIRequest = serve.CheckpointRequest
+	CheckpointAPIResult  = serve.CheckpointResult
 	// APIError is the JSON body of every non-2xx answer.
 	APIError = serve.ErrorResponse
+
+	// MutationWAL is the durable, CRC-framed, segment-rotating log of
+	// graph deltas behind a WAL-enabled server; WALRecord is one logged
+	// mutation and WALOptions its durability knobs (fsync policy,
+	// segment size).
+	MutationWAL = wal.Log
+	WALRecord   = wal.Record
+	WALOptions  = wal.Options
 )
+
+// OpenMutationWAL opens (or creates) a mutation log directory and
+// replays its records, repairing a torn tail from a crashed append.
+// Corruption that cannot be explained by a crash mid-append is an
+// error wrapping ErrBadWAL.
+func OpenMutationWAL(dir string, opts WALOptions) (*MutationWAL, []WALRecord, error) {
+	return wal.Open(dir, opts)
+}
+
+// ErrBadWAL marks a mutation log whose damage recovery must not paper
+// over (interior corruption, generation gaps, foreign records).
+var ErrBadWAL = wal.ErrBadWAL
 
 // NewSolverServer builds a solver service from the config. Mount
 // Handler on an http.Server (wire BaseContext so in-flight sessions
@@ -45,4 +71,5 @@ func NewSolverServer(cfg ServerConfig) *SolverServer { return serve.New(cfg) }
 var (
 	_ = func(s *SolverServer) http.Handler { return s.Handler() }
 	_ = func(s *SolverServer, d time.Duration) error { return s.Drain(d) }
+	_ = func(s *SolverServer) (int, error) { return s.RecoverWAL() }
 )

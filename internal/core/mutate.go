@@ -48,28 +48,95 @@ type DeltaResult struct {
 // universes; an aborted swap leaves the old generation serving, at the
 // cost of the universes already carried (they become cold cache misses).
 func (e *Engine) ApplyDelta(ctx context.Context, d *graph.Delta) (*DeltaResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
+	p, err := e.PrepareDelta(d)
+	if err != nil {
+		return nil, err
 	}
+	return p.Commit(ctx)
+}
+
+// PreparedDelta is a compiled-but-unpublished generation swap: the
+// successor graph, model and snapshot exist, but the Engine still
+// serves the old generation and no shared state has been touched. The
+// holder MUST finish it with exactly one Commit or Abort — the swap
+// lock is held in between, so an abandoned PreparedDelta wedges every
+// later mutation. The split exists for write-ahead logging: the serve
+// layer prepares, appends the delta durably, and only then commits, so
+// an append failure can abort with the Engine provably untouched.
+type PreparedDelta struct {
+	e     *Engine
+	old   *snapshot
+	next  *snapshot
+	remap *graph.EdgeRemap
+	res   *DeltaResult
+	done  bool
+}
+
+// PrepareDelta validates and compiles one batched graph mutation
+// without publishing it. Invalid deltas reject with graph.ErrBadDelta;
+// a concurrent swap rejects with ErrSwapInProgress.
+func (e *Engine) PrepareDelta(d *graph.Delta) (*PreparedDelta, error) {
 	if !e.swapMu.TryLock() {
 		return nil, fmt.Errorf("core: %w", ErrSwapInProgress)
 	}
-	defer e.swapMu.Unlock()
-
 	old := e.cur.Load()
 	ng, remap, err := old.graph.ApplyDelta(d)
 	if err != nil {
+		e.swapMu.Unlock()
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	nm, err := old.model.Rebind(ng, remap, d.SetProbs)
 	if err != nil {
+		e.swapMu.Unlock()
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	next := newSnapshot(ng, nm, e.opts)
-	res := &DeltaResult{
-		Generation:   ng.Generation(),
-		TouchedNodes: len(remap.Touched),
+	return &PreparedDelta{
+		e:     e,
+		old:   old,
+		next:  next,
+		remap: remap,
+		res: &DeltaResult{
+			Generation:   ng.Generation(),
+			TouchedNodes: len(remap.Touched),
+		},
+	}, nil
+}
+
+// Generation returns the generation the swap will publish on Commit.
+func (p *PreparedDelta) Generation() uint64 { return p.res.Generation }
+
+// Abort discards the prepared swap and releases the swap lock, leaving
+// the Engine exactly as before PrepareDelta. Idempotent; a no-op after
+// Commit.
+func (p *PreparedDelta) Abort() {
+	if p.done {
+		return
 	}
+	p.done = true
+	p.e.swapMu.Unlock()
+}
+
+// Commit carries the cached RR-set universes into the prepared
+// snapshot and atomically swaps the Engine to it. Cancellation via ctx
+// is honored between carried universes; an aborted commit leaves the
+// old generation serving, at the cost of the universes already carried
+// (they become cold cache misses). With a background context, Commit
+// cannot fail — the property the WAL path relies on, since a durably
+// logged delta must always publish.
+func (p *PreparedDelta) Commit(ctx context.Context) (*DeltaResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.done {
+		return nil, fmt.Errorf("core: prepared delta already committed or aborted")
+	}
+	p.done = true
+	e := p.e
+	defer e.swapMu.Unlock()
+
+	old, next, remap, res := p.old, p.next, p.remap, p.res
+	ng := next.graph
 
 	// Carry the universe cache. Entries are TryLock'd: an entry held by
 	// an in-flight session is simply not carried — blocking the swap on

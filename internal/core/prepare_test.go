@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Prepare+Commit must be exactly ApplyDelta: same result fields, same
+// published generation, same solve output.
+func TestPrepareCommitMatchesApplyDelta(t *testing.T) {
+	p1 := smallWCProblem(3, 77)
+	p2 := smallWCProblem(3, 77)
+	engA := engineFor(p1, 1)
+	engB := engineFor(p2, 1)
+	u, v := pickMissingEdge(t, p1.Graph)
+	d := &graph.Delta{AddEdges: []graph.Edge{{U: u, V: v}}}
+
+	resA, err := engA.ApplyDelta(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := engB.PrepareDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Generation() != 1 {
+		t.Fatalf("prepared generation %d", pd.Generation())
+	}
+	if engB.Generation() != 0 {
+		t.Fatalf("prepare published early: generation %d", engB.Generation())
+	}
+	resB, err := pd.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatalf("results differ:\n apply  %+v\n commit %+v", resA, resB)
+	}
+	if engB.Generation() != 1 {
+		t.Fatalf("commit did not publish: generation %d", engB.Generation())
+	}
+
+	opt := Options{Mode: ModeCostSensitive, Epsilon: 0.3, Seed: 11, MaxThetaPerAd: 20000}
+	allocA, _, err := engA.Solve(context.Background(), rebindProblem(engA, p1), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocB, _, err := engB.Solve(context.Background(), rebindProblem(engB, p2), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(allocA, allocB) {
+		t.Fatal("post-commit solves diverge from ApplyDelta path")
+	}
+}
+
+func TestPrepareAbortLeavesEngineUntouched(t *testing.T) {
+	p := smallWCProblem(2, 13)
+	eng := engineFor(p, 1)
+	u, v := pickMissingEdge(t, p.Graph)
+	d := &graph.Delta{AddEdges: []graph.Edge{{U: u, V: v}}}
+
+	pd, err := eng.PrepareDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The swap lock is held while prepared.
+	if _, err := eng.PrepareDelta(d); !errors.Is(err, ErrSwapInProgress) {
+		t.Fatalf("concurrent prepare: want ErrSwapInProgress, got %v", err)
+	}
+	pd.Abort()
+	pd.Abort() // idempotent
+	if eng.Generation() != 0 {
+		t.Fatalf("abort changed generation to %d", eng.Generation())
+	}
+	if g, _ := eng.Current(); g.HasEdge(u, v) {
+		t.Fatal("aborted delta leaked into the serving graph")
+	}
+	// The engine accepts the same delta again afterwards.
+	res, err := eng.ApplyDelta(context.Background(), d)
+	if err != nil || res.Generation != 1 {
+		t.Fatalf("apply after abort: %+v, %v", res, err)
+	}
+	// Commit after Abort must error, not double-publish.
+	if _, err := pd.Commit(context.Background()); err == nil {
+		t.Fatal("commit after abort succeeded")
+	}
+}
+
+// Restore must swap in a checkpointed graph/model with its generation
+// intact, and subsequent deltas must continue the sequence.
+func TestRestoreResumesGenerationSequence(t *testing.T) {
+	p := smallWCProblem(2, 29)
+	engA := engineFor(p, 1)
+	u1, v1 := pickMissingEdge(t, p.Graph)
+	if _, err := engA.ApplyDelta(context.Background(), &graph.Delta{AddEdges: []graph.Edge{{U: u1, V: v1}}}); err != nil {
+		t.Fatal(err)
+	}
+	gA, mA := engA.Current()
+	if gA.Generation() != 1 {
+		t.Fatalf("setup generation %d", gA.Generation())
+	}
+
+	engB := engineFor(p, 1)
+	if err := engB.Restore(gA, mA); err != nil {
+		t.Fatal(err)
+	}
+	if engB.Generation() != 1 {
+		t.Fatalf("restored generation %d", engB.Generation())
+	}
+	gB, _ := engB.Current()
+	if !gB.HasEdge(u1, v1) {
+		t.Fatal("restored graph missing the checkpointed edge")
+	}
+	u2, v2 := pickMissingEdge(t, gB)
+	res, err := engB.ApplyDelta(context.Background(), &graph.Delta{AddEdges: []graph.Edge{{U: u2, V: v2}}})
+	if err != nil || res.Generation != 2 {
+		t.Fatalf("delta after restore: %+v, %v", res, err)
+	}
+
+	// Mismatched model/graph pairs are rejected.
+	if err := engB.Restore(gA, p.Model); err == nil {
+		t.Fatal("restore accepted a model bound to a different graph")
+	}
+}

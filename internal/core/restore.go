@@ -1,0 +1,31 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/topic"
+)
+
+// Restore atomically replaces the Engine's serving snapshot with a
+// graph/model pair reloaded from a checkpoint — the crash-recovery
+// entry point. The graph carries its own generation (restored via
+// graph.SetGeneration before the pair is handed here), so caches and
+// seed mixing continue exactly where the checkpointed process left
+// off. The universe cache starts cold, as it would after any restart.
+//
+// Restore is meant for startup, before the engine serves traffic; a
+// concurrent mutation rejects it with ErrSwapInProgress.
+func (e *Engine) Restore(g *graph.Graph, model *topic.Model) error {
+	if model.Graph() != g {
+		return fmt.Errorf("core: restore model is bound to a different graph")
+	}
+	if !e.swapMu.TryLock() {
+		return fmt.Errorf("core: %w", ErrSwapInProgress)
+	}
+	defer e.swapMu.Unlock()
+	old := e.cur.Load()
+	e.prev.Store(old)
+	e.cur.Store(newSnapshot(g, model, e.opts))
+	return nil
+}

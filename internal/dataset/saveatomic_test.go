@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestSaveAtomicReplace proves the crash-safety contract of Save: an
+// injected failure between writing the temp file and the rename leaves
+// the previously saved snapshot fully loadable and no torn bytes at
+// the target path.
+func TestSaveAtomicReplace(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "graph.snap")
+
+	prior := testSnapshot(t, 1)
+	if err := Save(path, prior); err != nil {
+		t.Fatalf("initial save: %v", err)
+	}
+
+	next := testSnapshot(t, 2)
+	for _, point := range []string{"dataset.save.write", "dataset.save.sync", "dataset.save.rename"} {
+		faults.Set(point, "error")
+		err := Save(path, next)
+		faults.Reset()
+		if !errors.Is(err, faults.ErrInjected) {
+			t.Fatalf("%s: want injected error, got %v", point, err)
+		}
+		// The prior snapshot is untouched and still loads.
+		got, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: prior snapshot no longer loads: %v", point, err)
+		}
+		if got.Name != prior.Name || got.Graph.NumEdges() != prior.Graph.NumEdges() {
+			t.Fatalf("%s: prior snapshot content changed", point)
+		}
+		// No temp-file residue accumulates in the directory.
+		entries, _ := os.ReadDir(dir)
+		for _, e := range entries {
+			if strings.Contains(e.Name(), ".tmp-") {
+				t.Fatalf("%s: leftover temp file %s", point, e.Name())
+			}
+		}
+	}
+
+	// With failpoints cleared the replacement goes through.
+	if err := Save(path, next); err != nil {
+		t.Fatalf("final save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load after replace: %v", err)
+	}
+	if got.Graph.NumEdges() != next.Graph.NumEdges() {
+		t.Fatal("replacement content mismatch")
+	}
+}

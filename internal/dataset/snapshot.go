@@ -22,7 +22,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
+	"repro/internal/faults"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/topic"
@@ -239,17 +241,56 @@ func badRead(err error) error {
 	return err
 }
 
-// Save writes the snapshot to the named file.
+// Save writes the snapshot to the named file atomically: the bytes go
+// to a temp file in the same directory, are fsynced, and only then
+// renamed over path (with the directory entry fsynced too). A crash at
+// any point leaves either the complete new snapshot or whatever was at
+// path before — never a torn file.
 func Save(path string, s *Snapshot) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := Write(f, s); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := faults.Inject("dataset.save.write"); err != nil {
+		return fail(err)
+	}
+	if err := Write(f, s); err != nil {
+		return fail(err)
+	}
+	if err := faults.Inject("dataset.save.sync"); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := faults.Inject("dataset.save.rename"); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Load reads a snapshot from the named file. Gzip-compressed snapshots

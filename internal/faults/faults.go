@@ -1,0 +1,134 @@
+// Package faults is a tiny failpoint framework for crash and
+// atomicity testing. Production code drops named injection points at
+// I/O boundaries (file writes, fsyncs, renames, mmaps, pre-commit
+// holds) by calling Inject; the points are inert — one atomic load —
+// unless armed.
+//
+// Points are armed programmatically (Set/Clear/Reset, used by unit
+// tests in-process) or through the RM_FAILPOINTS environment variable
+// at process start (used by the cmd/integration crash tests to arm a
+// child rmserved):
+//
+//	RM_FAILPOINTS='wal.append.sync=error,serve.mutate.precommit=sleep:30s'
+//
+// Supported actions:
+//
+//	error        Inject returns an error wrapping ErrInjected
+//	panic        Inject panics
+//	crash        Inject exits the process immediately (exit code 137),
+//	             skipping deferred functions — an in-process SIGKILL
+//	sleep:<dur>  Inject blocks for the time.ParseDuration duration,
+//	             then returns nil
+//
+// Whenever an armed point fires, a single marker line
+// "faults: <action> at <name>" is written to stderr so an external
+// supervisor (the crash test) gets a deterministic signal for when to
+// kill the process.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every error returned from an
+// armed "error" failpoint. Tests assert on it with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// crashExitCode mimics a SIGKILL'd process (128+9) so supervisors and
+// tests treat an injected crash like a real kill.
+const crashExitCode = 137
+
+var state struct {
+	active atomic.Bool // fast path: false → Inject is a single load
+	mu     sync.RWMutex
+	points map[string]string
+}
+
+func init() {
+	state.points = map[string]string{}
+	if env := os.Getenv("RM_FAILPOINTS"); env != "" {
+		for _, kv := range strings.Split(env, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			name, action, ok := strings.Cut(kv, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "faults: ignoring malformed RM_FAILPOINTS entry %q\n", kv)
+				continue
+			}
+			state.points[name] = action
+		}
+		state.active.Store(len(state.points) > 0)
+	}
+}
+
+// Set arms the named failpoint with an action ("error", "panic",
+// "crash", or "sleep:<duration>").
+func Set(name, action string) {
+	state.mu.Lock()
+	state.points[name] = action
+	state.mu.Unlock()
+	state.active.Store(true)
+}
+
+// Clear disarms one failpoint.
+func Clear(name string) {
+	state.mu.Lock()
+	delete(state.points, name)
+	n := len(state.points)
+	state.mu.Unlock()
+	if n == 0 {
+		state.active.Store(false)
+	}
+}
+
+// Reset disarms every failpoint. Tests defer it so a failure cannot
+// leak armed points into later tests.
+func Reset() {
+	state.mu.Lock()
+	state.points = map[string]string{}
+	state.mu.Unlock()
+	state.active.Store(false)
+}
+
+// Inject fires the named failpoint if it is armed and returns the
+// injected error, if any. The unarmed cost is one atomic load.
+func Inject(name string) error {
+	if !state.active.Load() {
+		return nil
+	}
+	state.mu.RLock()
+	action, ok := state.points[name]
+	state.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "faults: %s at %s\n", action, name)
+	switch {
+	case action == "error":
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	case action == "panic":
+		panic(fmt.Sprintf("faults: injected panic at %s", name))
+	case action == "crash":
+		os.Exit(crashExitCode)
+		return nil // unreachable
+	case strings.HasPrefix(action, "sleep:"):
+		d, err := time.ParseDuration(strings.TrimPrefix(action, "sleep:"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faults: bad sleep duration in %q: %v\n", action, err)
+			return nil
+		}
+		time.Sleep(d)
+		return nil
+	default:
+		fmt.Fprintf(os.Stderr, "faults: unknown action %q at %s\n", action, name)
+		return nil
+	}
+}

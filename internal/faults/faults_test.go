@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Inject("nope"); err != nil {
+		t.Fatalf("unarmed Inject: %v", err)
+	}
+}
+
+func TestErrorAction(t *testing.T) {
+	defer Reset()
+	Set("x.write", "error")
+	err := Inject("x.write")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "x.write") {
+		t.Fatalf("error should name the point: %v", err)
+	}
+	// Other points stay unarmed.
+	if err := Inject("y.write"); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	Clear("x.write")
+	if err := Inject("x.write"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer Reset()
+	Set("boom", "panic")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Inject("boom")
+}
+
+func TestSleepAction(t *testing.T) {
+	defer Reset()
+	Set("slow", "sleep:30ms")
+	start := time.Now()
+	if err := Inject("slow"); err != nil {
+		t.Fatalf("sleep action returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep too short: %v", d)
+	}
+}
+
+func TestUnknownActionIsNoop(t *testing.T) {
+	defer Reset()
+	Set("weird", "frobnicate")
+	if err := Inject("weird"); err != nil {
+		t.Fatalf("unknown action should be a no-op: %v", err)
+	}
+	Set("badsleep", "sleep:xyz")
+	if err := Inject("badsleep"); err != nil {
+		t.Fatalf("bad sleep duration should be a no-op: %v", err)
+	}
+}
+
+func TestResetDisarmsEverything(t *testing.T) {
+	Set("a", "error")
+	Set("b", "error")
+	Reset()
+	if err := Inject("a"); err != nil {
+		t.Fatalf("a fired after Reset: %v", err)
+	}
+	if err := Inject("b"); err != nil {
+		t.Fatalf("b fired after Reset: %v", err)
+	}
+}

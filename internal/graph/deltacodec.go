@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encoding of a Delta, used by the mutation WAL. Little-endian
+// throughout, matching the snapshot format:
+//
+//	u32 len(AddEdges)    then per edge: i32 u, i32 v
+//	u32 len(RemoveEdges) then per edge: i32 u, i32 v
+//	u32 len(SetProbs)    then per update: i32 u, i32 v, i32 topic, u32 float32-bits p
+//
+// The encoding carries no checksum or length framing of its own — the
+// WAL frames and CRCs each record. DecodeDelta only validates
+// structure (counts within bounds, enough bytes); semantic validation
+// (node ranges, duplicate arcs, probability ranges) stays in
+// Graph.ApplyDelta where the target graph is known.
+
+// maxDeltaOps bounds each slice length in an encoded delta so a
+// corrupt length prefix cannot drive a huge allocation before the
+// remaining-bytes check.
+const maxDeltaOps = 1 << 26
+
+// EncodeDelta appends d's binary encoding to buf and returns the
+// extended slice. A nil d encodes like an empty delta.
+func EncodeDelta(buf []byte, d *Delta) []byte {
+	if d == nil {
+		d = &Delta{}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.AddEdges)))
+	for _, e := range d.AddEdges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.RemoveEdges)))
+	for _, e := range d.RemoveEdges {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.V))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.SetProbs)))
+	for _, p := range d.SetProbs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.U))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.V))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(p.Topic)))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.P))
+	}
+	return buf
+}
+
+// DecodeDelta decodes one delta from the front of data, returning the
+// delta and the number of bytes consumed. Malformed input (truncated
+// buffer, out-of-range count) returns an error wrapping ErrBadDelta.
+func DecodeDelta(data []byte) (*Delta, int, error) {
+	off := 0
+	count := func(what string) (int, error) {
+		if len(data)-off < 4 {
+			return 0, fmt.Errorf("%w: truncated %s count", ErrBadDelta, what)
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if n > maxDeltaOps {
+			return 0, fmt.Errorf("%w: %s count %d exceeds limit", ErrBadDelta, what, n)
+		}
+		return int(n), nil
+	}
+	readEdges := func(what string) ([]Edge, error) {
+		n, err := count(what)
+		if err != nil {
+			return nil, err
+		}
+		if len(data)-off < 8*n {
+			return nil, fmt.Errorf("%w: truncated %s payload", ErrBadDelta, what)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		edges := make([]Edge, n)
+		for i := range edges {
+			edges[i].U = int32(binary.LittleEndian.Uint32(data[off:]))
+			edges[i].V = int32(binary.LittleEndian.Uint32(data[off+4:]))
+			off += 8
+		}
+		return edges, nil
+	}
+
+	var d Delta
+	var err error
+	if d.AddEdges, err = readEdges("add-edge"); err != nil {
+		return nil, 0, err
+	}
+	if d.RemoveEdges, err = readEdges("remove-edge"); err != nil {
+		return nil, 0, err
+	}
+	n, err := count("set-prob")
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(data)-off < 16*n {
+		return nil, 0, fmt.Errorf("%w: truncated set-prob payload", ErrBadDelta)
+	}
+	if n > 0 {
+		d.SetProbs = make([]ProbUpdate, n)
+		for i := range d.SetProbs {
+			d.SetProbs[i].U = int32(binary.LittleEndian.Uint32(data[off:]))
+			d.SetProbs[i].V = int32(binary.LittleEndian.Uint32(data[off+4:]))
+			d.SetProbs[i].Topic = int(int32(binary.LittleEndian.Uint32(data[off+8:])))
+			d.SetProbs[i].P = math.Float32frombits(binary.LittleEndian.Uint32(data[off+12:]))
+			off += 16
+		}
+	}
+	return &d, off, nil
+}

@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	cases := []*Delta{
+		{},
+		nil,
+		{AddEdges: []Edge{{U: 1, V: 2}, {U: 3, V: 4}}},
+		{RemoveEdges: []Edge{{U: 9, V: 0}}},
+		{SetProbs: []ProbUpdate{{U: 5, V: 6, Topic: 2, P: 0.25}}},
+		{
+			AddEdges:    []Edge{{U: 0, V: 7}},
+			RemoveEdges: []Edge{{U: 7, V: 0}, {U: 1, V: 1}},
+			SetProbs:    []ProbUpdate{{U: 2, V: 3, Topic: 0, P: 1}, {U: 3, V: 2, Topic: 9, P: 0}},
+		},
+	}
+	for i, d := range cases {
+		enc := EncodeDelta(nil, d)
+		got, n, err := DecodeDelta(enc)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("case %d: consumed %d of %d bytes", i, n, len(enc))
+		}
+		want := d
+		if want == nil {
+			want = &Delta{}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestDeltaCodecTrailingBytes(t *testing.T) {
+	d := &Delta{AddEdges: []Edge{{U: 1, V: 2}}}
+	enc := EncodeDelta(nil, d)
+	full := len(enc)
+	enc = append(enc, 0xAA, 0xBB)
+	got, n, err := DecodeDelta(enc)
+	if err != nil || n != full {
+		t.Fatalf("decode with trailing bytes: n=%d err=%v", n, err)
+	}
+	if len(got.AddEdges) != 1 {
+		t.Fatalf("decoded %+v", got)
+	}
+}
+
+func TestDeltaCodecTruncated(t *testing.T) {
+	d := &Delta{
+		AddEdges: []Edge{{U: 1, V: 2}},
+		SetProbs: []ProbUpdate{{U: 1, V: 2, Topic: 0, P: 0.5}},
+	}
+	enc := EncodeDelta(nil, d)
+	for cut := 0; cut < len(enc); cut++ {
+		_, _, err := DecodeDelta(enc[:cut])
+		if !errors.Is(err, ErrBadDelta) {
+			t.Fatalf("truncation at %d: want ErrBadDelta, got %v", cut, err)
+		}
+	}
+}
+
+func TestDeltaCodecHugeCountRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var four [4]byte
+	binary.LittleEndian.PutUint32(four[:], maxDeltaOps+1)
+	buf.Write(four[:])
+	_, _, err := DecodeDelta(buf.Bytes())
+	if !errors.Is(err, ErrBadDelta) {
+		t.Fatalf("huge count: want ErrBadDelta, got %v", err)
+	}
+}
+
+func TestSetGeneration(t *testing.T) {
+	g := FromEdges(3, []int32{0}, []int32{1})
+	if g.Generation() != 0 {
+		t.Fatalf("fresh graph generation = %d", g.Generation())
+	}
+	g.SetGeneration(42)
+	if g.Generation() != 42 {
+		t.Fatalf("after SetGeneration: %d", g.Generation())
+	}
+}

@@ -70,6 +70,13 @@ type EdgeRemap struct {
 // can never disagree with the snapshot that solved it.
 func (g *Graph) Generation() uint64 { return g.generation }
 
+// SetGeneration overrides the graph's generation number. Graphs are
+// immutable once published, so this exists for exactly one caller:
+// crash recovery, where a checkpoint loaded from disk must rejoin the
+// generation sequence it was written at before WAL replay continues
+// from it. Call it only before the graph is handed to an engine.
+func (g *Graph) SetGeneration(gen uint64) { g.generation = gen }
+
 // EdgeID returns the canonical edge ID of arc (u, v), or ok=false when
 // the arc does not exist. O(log outdeg(u)).
 func (g *Graph) EdgeID(u, v int32) (int64, bool) {

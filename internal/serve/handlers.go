@@ -234,6 +234,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/mutate", s.handleMutate)
+	s.mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

@@ -26,6 +26,11 @@ type metrics struct {
 	clientDisconnects atomic.Int64 // 499: client hung up while queued or mid-session
 	requestErrors     atomic.Int64 // other 4xx/5xx
 	sessionsCompleted atomic.Int64 // sessions that produced a 200
+	panics            atomic.Int64 // handler panics converted to 500 by recoverPanics
+	walAppends        atomic.Int64 // mutation records durably appended to the WAL
+	walAppendErrors   atomic.Int64 // WAL appends that failed (mutation aborted, engine untouched)
+	checkpoints       atomic.Int64 // checkpoints written (periodic + /v1/checkpoint)
+	recoveryReplayed  atomic.Int64 // deltas replayed from the WAL at startup
 }
 
 // engineRow is one warm engine's exportable state: cumulative counters
@@ -79,6 +84,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("rmserved_deadline_exceeded_total", "Sessions that hit their request deadline and returned 504.", s.met.deadlineExceeded.Load())
 	counter("rmserved_client_disconnects_total", "Requests abandoned by the client while queued or mid-session (not server timeouts).", s.met.clientDisconnects.Load())
 	counter("rmserved_request_errors_total", "Requests that failed for other reasons (bad input, unknown dataset, internal).", s.met.requestErrors.Load())
+	counter("rmserved_panics_total", "Handler panics recovered and converted to 500 responses.", s.met.panics.Load())
+
+	if s.cfg.WALDir != "" {
+		ws := s.walStats()
+		counter("rmserved_wal_appends_total", "Mutation records durably appended to the write-ahead log.", s.met.walAppends.Load())
+		counter("rmserved_wal_append_errors_total", "WAL appends that failed; the mutation was aborted with the engine untouched.", s.met.walAppendErrors.Load())
+		counter("rmserved_checkpoints_total", "Checkpoints written (periodic and on-demand /v1/checkpoint).", s.met.checkpoints.Load())
+		gauge("rmserved_recovery_replayed_deltas", "Mutation records replayed from the WAL during startup recovery.", s.met.recoveryReplayed.Load())
+		fmt.Fprintf(&b, "# HELP rmserved_wal_fsync_seconds Cumulative seconds spent in WAL fsyncs.\n# TYPE rmserved_wal_fsync_seconds counter\nrmserved_wal_fsync_seconds %.6f\n", ws.FsyncSeconds)
+		gauge("rmserved_wal_records", "Records currently held by open mutation logs (not yet compacted into a checkpoint).", ws.Records)
+		gauge("rmserved_wal_segments", "Open WAL segment files across all engines.", ws.Segments)
+		gauge("rmserved_wal_size_bytes", "On-disk bytes of all open mutation logs.", ws.SizeBytes)
+	}
 
 	// Per-engine series, labeled by dataset and advertiser count.
 	rows := s.engineRows()

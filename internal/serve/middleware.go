@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime/debug"
+
+	"repro/internal/faults"
+)
+
+// recoverPanics is the outermost handler layer: a panicking handler
+// answers 500 with the standard ErrorResponse shape instead of tearing
+// down the connection with an empty reply, and the event is counted in
+// rmserved_panics_total. The stack goes to stderr — a panic is a bug,
+// not an operational condition, and must stay loud in the logs.
+// http.ErrAbortHandler is re-raised: it is net/http's sanctioned way to
+// abort a response, not a defect.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.met.panics.Add(1)
+			fmt.Fprintf(os.Stderr, "rmserved: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote a header this
+			// produces a superfluous-WriteHeader log line, nothing worse.
+			s.writeError(w, http.StatusInternalServerError,
+				ErrorResponse{Error: "internal: handler panicked"})
+		}()
+		// Failpoint for the middleware's own tests: RM_FAILPOINTS can make
+		// any request panic (or fail) before it reaches the mux.
+		if err := faults.Inject("serve.handler"); err != nil {
+			panic(err)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,11 +1,16 @@
 package serve
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/faults"
 	"repro/internal/graph"
+	"repro/internal/wal"
 )
 
 // MutateEdge is one arc of a mutate request.
@@ -104,7 +109,7 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.met.mutates.Add(1)
-	res, err := wb.Engine().ApplyDelta(s.baseCtx, d)
+	res, err := s.applyMutation(benchKey{name: req.Dataset, h: h}, wb, d)
 	if err != nil {
 		s.writeMutateError(w, err)
 		return
@@ -120,6 +125,61 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 		CarriedUniverses: res.CarriedUniverses,
 		DroppedUniverses: res.DroppedUniverses,
 	})
+}
+
+// applyMutation runs one delta through the engine, write-ahead logging
+// it first when the server has a WAL. The durable ordering is strict:
+// prepare (compile the successor generation, engine still untouched) →
+// append the delta to the log and fsync → commit (publish the swap) →
+// ack. An append failure aborts the prepared swap, so a client error
+// response proves the engine did not move; conversely, once the record
+// is durable the commit runs under a background context and cannot
+// fail, so a crash after the append is replayed to the same state the
+// client would have seen acked.
+func (s *Server) applyMutation(key benchKey, wb *eval.Workbench, d *graph.Delta) (*core.DeltaResult, error) {
+	ws, err := s.walFor(key, wb)
+	if err != nil {
+		return nil, err
+	}
+	eng := wb.Engine()
+	if ws == nil {
+		return eng.ApplyDelta(s.baseCtx, d)
+	}
+
+	// The key mutex serializes append order with commit order, so log
+	// generations are contiguous even under concurrent mutates.
+	ws.lock()
+	defer ws.unlock()
+	pd, err := eng.PrepareDelta(d)
+	if err != nil {
+		return nil, err
+	}
+	// A panic between here and Commit (e.g. an injected failpoint) must
+	// not leave the engine's swap lock held forever.
+	committed := false
+	defer func() {
+		if !committed {
+			pd.Abort()
+		}
+	}()
+
+	rec := wal.Record{Dataset: key.name, H: key.h, Generation: pd.Generation(), Delta: d}
+	if err := ws.log.Append(rec); err != nil {
+		s.met.walAppendErrors.Add(1)
+		return nil, fmt.Errorf("serve: mutation not applied, WAL append failed: %w", err)
+	}
+	s.met.walAppends.Add(1)
+	// Crash window for the fault-injection tests: the record is durable
+	// but unacked. Recovery must still replay it — durability is decided
+	// by the log, not by whether the client heard back.
+	_ = faults.Inject("serve.mutate.precommit")
+
+	res, err := pd.Commit(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	committed = true
+	return res, nil
 }
 
 // writeMutateError maps ApplyDelta failures onto the wire contract: a

@@ -51,6 +51,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/gen"
+	"repro/internal/wal"
 )
 
 // Config fixes the server-wide resources and limits. Per-request knobs
@@ -112,6 +113,22 @@ type Config struct {
 	// goroutine with its own O(NumNodes) simulator, so an uncapped value
 	// would let one request amplify into arbitrary memory.
 	MaxEvalWorkers int
+	// WALDir enables the durable mutation log: every accepted /v1/mutate
+	// delta is appended to a per-(dataset, h) write-ahead log under this
+	// directory — and fsynced per WALSync — before the generation swap is
+	// acknowledged, and RecoverWAL replays checkpoints + log at startup.
+	// Empty disables durability (the historical in-memory behavior).
+	WALDir string
+	// WALSync is the log's fsync policy (default wal.SyncAlways).
+	WALSync wal.SyncPolicy
+	// WALSegmentBytes is the log's segment-rotation threshold (default
+	// 4 MiB).
+	WALSegmentBytes int64
+	// CheckpointInterval, when positive and WALDir is set, checkpoints
+	// every WAL-backed engine on this period: an atomic RMSNAP of the
+	// serving graph+model is written into the key's WAL directory and the
+	// log is truncated. POST /v1/checkpoint does the same on demand.
+	CheckpointInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -192,6 +209,14 @@ type Server struct {
 	mu      sync.Mutex
 	benches map[benchKey]*eval.Workbench
 
+	// walMu guards wals; each walState has its own mutex serializing
+	// that key's append→commit sequence and checkpoints.
+	walMu sync.Mutex
+	wals  map[benchKey]*walState
+	// checkpointDone is closed when the periodic checkpoint loop (if
+	// configured) has exited.
+	checkpointDone chan struct{}
+
 	// testHookSolveStarted, when non-nil, runs on the handler goroutine
 	// after admission and cache lookup, immediately before Engine.Solve —
 	// the seam the drain/backpressure tests use to hold a session
@@ -216,6 +241,7 @@ func New(cfg Config) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 		benches: map[benchKey]*eval.Workbench{},
+		wals:    map[benchKey]*walState{},
 	}
 	if len(cfg.Datasets) > 0 {
 		s.allowed = make(map[string]bool, len(cfg.Datasets))
@@ -224,14 +250,21 @@ func New(cfg Config) *Server {
 		}
 	}
 	s.routes()
+	if cfg.WALDir != "" && cfg.CheckpointInterval > 0 {
+		s.checkpointDone = make(chan struct{})
+		go s.checkpointLoop()
+	}
 	return s
 }
 
 // Config returns the server's resolved configuration.
 func (s *Server) Config() Config { return s.cfg }
 
-// Handler returns the root handler serving every endpoint.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler serving every endpoint: the route
+// mux wrapped in the panic-recovery middleware, so a handler bug (or
+// an injected failpoint panic) answers 500 and bumps
+// rmserved_panics_total instead of tearing down the connection.
+func (s *Server) Handler() http.Handler { return s.recoverPanics(s.mux) }
 
 // BaseContext is the ancestor of every request context (wire it as the
 // http.Server's BaseContext). It is canceled when a drain deadline
@@ -347,6 +380,7 @@ func (s *Server) Drain(timeout time.Duration) error {
 	select {
 	case <-idle:
 		s.cancel()
+		s.closeWALs()
 		return nil
 	case <-timer.C:
 	}
@@ -359,8 +393,10 @@ func (s *Server) Drain(timeout time.Duration) error {
 	defer hard.Stop()
 	select {
 	case <-idle:
+		s.closeWALs()
 		return fmt.Errorf("serve: drain deadline %v exceeded; %s", timeout, "in-flight sessions canceled")
 	case <-hard.C:
+		s.closeWALs()
 		return fmt.Errorf("serve: sessions still in flight after drain cancellation")
 	}
 }
@@ -370,6 +406,10 @@ func (s *Server) Drain(timeout time.Duration) error {
 func (s *Server) Close() {
 	s.gate.beginDrain()
 	s.cancel()
+	if s.checkpointDone != nil {
+		<-s.checkpointDone
+	}
+	s.closeWALs()
 }
 
 // drainGate tracks in-flight sessions and the draining flag with one

@@ -1,0 +1,556 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/graph"
+	"repro/internal/topic"
+	"repro/internal/wal"
+)
+
+// Durability layout. Each WAL-backed (dataset, h) engine owns one
+// subdirectory of Config.WALDir:
+//
+//	<WALDir>/<sanitized-name>-h<h>-<hash>/
+//	    meta.json                 identity: {"dataset": ..., "h": ...}
+//	    checkpoint-<gen16>.snap   atomic RMSNAP of the serving graph+model
+//	    wal-<epoch>-<seq>.log     mutation log segments (internal/wal)
+//
+// meta.json carries the authoritative dataset name (the directory name
+// is sanitized and only for humans); the checkpoint's generation lives
+// in its file name, so snapshot bytes and generation can never be
+// written separately. Recovery per key: load the newest checkpoint (if
+// any) into the engine at its named generation, then replay the log in
+// order, skipping records the checkpoint already covers.
+
+// walState is one key's durability handle. mu serializes the
+// append→commit sequence of mutations with checkpoint truncation.
+type walState struct {
+	dir string
+	mu  chan struct{} // 1-slot: Lock = send, Unlock = receive
+	log *wal.Log
+}
+
+func (ws *walState) lock()   { ws.mu <- struct{}{} }
+func (ws *walState) unlock() { <-ws.mu }
+
+type walMeta struct {
+	Dataset string `json:"dataset"`
+	H       int    `json:"h"`
+}
+
+func (s *Server) walOptions() wal.Options {
+	return wal.Options{Sync: s.cfg.WALSync, SegmentBytes: s.cfg.WALSegmentBytes}
+}
+
+// walKeyDir maps a benchKey to its directory under WALDir: a sanitized
+// human-readable prefix plus an fnv hash of the exact name, so
+// distinct dataset names can never collide after sanitization.
+func (s *Server) walKeyDir(key benchKey) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, key.name)
+	if len(clean) > 64 {
+		clean = clean[:64]
+	}
+	hash := fnv.New64a()
+	fmt.Fprintf(hash, "%s\x00%d", key.name, key.h)
+	return filepath.Join(s.cfg.WALDir, fmt.Sprintf("%s-h%d-%08x", clean, key.h, hash.Sum64()&0xffffffff))
+}
+
+// writeWALMeta atomically writes the key-identity file.
+func writeWALMeta(dir string, meta walMeta) error {
+	body, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".meta-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(append(body, '\n')); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(name)
+		return err
+	}
+	return os.Rename(name, filepath.Join(dir, "meta.json"))
+}
+
+func readWALMeta(dir string) (walMeta, error) {
+	var meta walMeta
+	body, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return meta, err
+	}
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return meta, fmt.Errorf("parsing %s: %w", filepath.Join(dir, "meta.json"), err)
+	}
+	if meta.Dataset == "" || meta.H < 1 {
+		return meta, fmt.Errorf("%s: incomplete WAL metadata", filepath.Join(dir, "meta.json"))
+	}
+	return meta, nil
+}
+
+const checkpointPrefix = "checkpoint-"
+
+func checkpointName(gen uint64) string {
+	return fmt.Sprintf("%s%016d.snap", checkpointPrefix, gen)
+}
+
+// newestCheckpoint scans dir for checkpoint files and returns the path
+// and generation of the newest, or ok=false when none exist.
+func newestCheckpoint(dir string) (path string, gen uint64, ok bool, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, false, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		g, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), ".snap"), 10, 64)
+		if perr != nil {
+			continue
+		}
+		if !ok || g > gen {
+			gen = g
+			path = filepath.Join(dir, name)
+			ok = true
+		}
+	}
+	return path, gen, ok, nil
+}
+
+// removeStaleCheckpoints drops checkpoint files older than keep.
+func removeStaleCheckpoints(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		g, perr := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, checkpointPrefix), ".snap"), 10, 64)
+		if perr == nil && g < keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// walFor returns the durability handle for key, opening (and creating)
+// its log on first use. Returns (nil, nil) when the server runs
+// without a WAL.
+func (s *Server) walFor(key benchKey, wb *eval.Workbench) (*walState, error) {
+	if s.cfg.WALDir == "" {
+		return nil, nil
+	}
+	s.walMu.Lock()
+	ws, ok := s.wals[key]
+	s.walMu.Unlock()
+	if ok {
+		return ws, nil
+	}
+	ws, _, err := s.openWALState(key)
+	if err != nil {
+		return nil, err
+	}
+	// A lazily opened log must already agree with the engine: records
+	// the engine has not applied mean the server skipped RecoverWAL.
+	eng := wb.Engine()
+	if last := ws.log.LastGeneration(); last > eng.Generation() {
+		ws.log.Close()
+		return nil, fmt.Errorf("serve: WAL for %s/h=%d is at generation %d but the engine is at %d; start the server through RecoverWAL",
+			key.name, key.h, last, eng.Generation())
+	} else if last < eng.Generation() {
+		// The engine is ahead of a fresh log (it mutated before the WAL
+		// existed, e.g. an engine shared across servers in-process).
+		// Fast-forward the log and make the new base durable with a
+		// checkpoint, so a restart can still reconstruct this state.
+		if err := s.alignWAL(ws, wb, eng.Generation()); err != nil {
+			ws.log.Close()
+			return nil, err
+		}
+	}
+	return s.storeWALState(key, ws), nil
+}
+
+// openWALState opens key's log directory, creating it (with its
+// meta.json) on first use, and returns the replayed records.
+func (s *Server) openWALState(key benchKey) (*walState, []wal.Record, error) {
+	dir := s.walKeyDir(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if _, err := os.Stat(filepath.Join(dir, "meta.json")); errors.Is(err, os.ErrNotExist) {
+		if err := writeWALMeta(dir, walMeta{Dataset: key.name, H: key.h}); err != nil {
+			return nil, nil, err
+		}
+	} else if err != nil {
+		return nil, nil, err
+	}
+	log, records, err := wal.Open(dir, s.walOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening WAL for %s/h=%d: %w", key.name, key.h, err)
+	}
+	return &walState{dir: dir, mu: make(chan struct{}, 1), log: log}, records, nil
+}
+
+// storeWALState publishes ws under key, returning the winner if a
+// concurrent open raced.
+func (s *Server) storeWALState(key benchKey, ws *walState) *walState {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if prev, ok := s.wals[key]; ok {
+		ws.log.Close()
+		return prev
+	}
+	s.wals[key] = ws
+	return ws
+}
+
+// alignWAL fast-forwards ws to generation gen: checkpoint first (so
+// the skipped-over state is durable), then truncate the log onto it.
+func (s *Server) alignWAL(ws *walState, wb *eval.Workbench, gen uint64) error {
+	g, m := wb.Engine().Current()
+	if g.Generation() != gen {
+		return fmt.Errorf("serve: engine moved during WAL alignment")
+	}
+	snap := checkpointSnapshot(wb, g, m)
+	if err := dataset.Save(filepath.Join(ws.dir, checkpointName(gen)), snap); err != nil {
+		return fmt.Errorf("serve: writing alignment checkpoint: %w", err)
+	}
+	if err := ws.log.Truncate(gen); err != nil {
+		return err
+	}
+	removeStaleCheckpoints(ws.dir, gen)
+	return nil
+}
+
+// checkpointSnapshot assembles the RMSNAP payload for the serving
+// graph+model. The dataset identity fields come from the workbench's
+// base dataset; Ads ride along so the file is a complete, loadable
+// snapshot (recovery itself rebuilds ads deterministically from the
+// dataset name).
+func checkpointSnapshot(wb *eval.Workbench, g *graph.Graph, m *topic.Model) *dataset.Snapshot {
+	return &dataset.Snapshot{
+		Name:       wb.Dataset.Name,
+		Directed:   wb.Dataset.Directed,
+		ProbModel:  wb.Dataset.ProbModel,
+		PaperNodes: wb.Dataset.PaperNodes,
+		PaperEdges: wb.Dataset.PaperEdges,
+		Graph:      g,
+		Model:      m,
+		Ads:        wb.Ads,
+	}
+}
+
+// CheckpointRequest is the body of POST /v1/checkpoint.
+type CheckpointRequest struct {
+	Dataset string `json:"dataset"`
+	// H selects the engine (default Config.DefaultH).
+	H int `json:"h,omitempty"`
+}
+
+// CheckpointResult is the body of a successful POST /v1/checkpoint.
+type CheckpointResult struct {
+	Dataset string `json:"dataset"`
+	H       int    `json:"h"`
+	// Generation is the checkpointed serving generation.
+	Generation uint64 `json:"generation"`
+	// SnapshotBytes is the size of the written RMSNAP file.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// Truncated reports whether the mutation log was compacted onto the
+	// checkpoint. False means a mutation landed while the snapshot was
+	// being written; the log keeps its records and the next checkpoint
+	// compacts them.
+	Truncated bool `json:"truncated"`
+}
+
+// handleCheckpoint checkpoints one (dataset, h) engine on demand: an
+// atomic RMSNAP of the serving graph+model lands in the key's WAL
+// directory, and — if no mutation raced the write — the log is
+// truncated onto it.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.gate.enter() {
+		s.met.rejectedDraining.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, ErrorResponse{Error: "server is draining"})
+		return
+	}
+	defer s.gate.exit()
+
+	var req CheckpointRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	if req.Dataset == "" {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "dataset is required"})
+		return
+	}
+	if s.cfg.WALDir == "" {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: "server runs without a WAL (-wal not set); nothing to checkpoint"})
+		return
+	}
+	h, err := s.resolveH(req.H)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	wb, err := s.workbench(req.Dataset, h)
+	if err != nil {
+		s.writeDatasetError(w, err)
+		return
+	}
+	res, err := s.checkpointKey(benchKey{name: req.Dataset, h: h}, wb)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// checkpointKey writes one key's checkpoint and compacts its log. The
+// snapshot is written outside the key mutex (it can be slow); the
+// truncation only happens if the generation is unchanged when the lock
+// is re-taken, so a concurrent mutate is never cut out of the log.
+func (s *Server) checkpointKey(key benchKey, wb *eval.Workbench) (CheckpointResult, error) {
+	res := CheckpointResult{Dataset: key.name, H: key.h}
+	ws, err := s.walFor(key, wb)
+	if err != nil {
+		return res, err
+	}
+	eng := wb.Engine()
+
+	ws.lock()
+	g, m := eng.Current()
+	gen := g.Generation()
+	ws.unlock()
+	res.Generation = gen
+
+	path := filepath.Join(ws.dir, checkpointName(gen))
+	if err := dataset.Save(path, checkpointSnapshot(wb, g, m)); err != nil {
+		return res, fmt.Errorf("serve: writing checkpoint: %w", err)
+	}
+	if fi, err := os.Stat(path); err == nil {
+		res.SnapshotBytes = fi.Size()
+	}
+
+	ws.lock()
+	defer ws.unlock()
+	if eng.Generation() == gen {
+		if err := ws.log.Truncate(gen); err != nil {
+			return res, fmt.Errorf("serve: compacting WAL onto checkpoint: %w", err)
+		}
+		res.Truncated = true
+		removeStaleCheckpoints(ws.dir, gen)
+	}
+	s.met.checkpoints.Add(1)
+	return res, nil
+}
+
+// checkpointLoop periodically checkpoints every WAL-backed engine
+// until the server's base context is canceled.
+func (s *Server) checkpointLoop() {
+	defer close(s.checkpointDone)
+	ticker := time.NewTicker(s.cfg.CheckpointInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-ticker.C:
+		}
+		s.walMu.Lock()
+		keys := make([]benchKey, 0, len(s.wals))
+		for k := range s.wals {
+			keys = append(keys, k)
+		}
+		s.walMu.Unlock()
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].name != keys[j].name {
+				return keys[i].name < keys[j].name
+			}
+			return keys[i].h < keys[j].h
+		})
+		for _, k := range keys {
+			wb, err := s.workbench(k.name, k.h)
+			if err != nil {
+				continue
+			}
+			if _, err := s.checkpointKey(k, wb); err != nil {
+				fmt.Fprintf(os.Stderr, "rmserved: periodic checkpoint of %s/h=%d: %v\n", k.name, k.h, err)
+			}
+		}
+	}
+}
+
+// RecoverWAL reconstructs every WAL-backed engine from disk: for each
+// key directory under Config.WALDir it builds the workbench from the
+// dataset name recorded in meta.json (the same deterministic build an
+// uninterrupted server performs), loads the newest checkpoint — if any
+// — into the engine at the checkpoint's generation, and replays the
+// mutation log in generation order. Replay is strict: records the
+// checkpoint covers are skipped, anything else must advance the
+// generation by exactly one, and a gap or identity mismatch fails with
+// an error wrapping wal.ErrBadWAL rather than serving a state that
+// diverges from the durably-acked history.
+//
+// Call it once, after New and before serving traffic (cmd/rmserved
+// does this when -wal is set). It returns the number of replayed
+// mutations.
+func (s *Server) RecoverWAL() (int, error) {
+	if s.cfg.WALDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.cfg.WALDir)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(s.cfg.WALDir, e.Name())
+		meta, err := readWALMeta(dir)
+		if errors.Is(err, os.ErrNotExist) {
+			continue // not a WAL key directory
+		}
+		if err != nil {
+			return total, fmt.Errorf("serve: recovering %s: %w", dir, err)
+		}
+		wb, err := s.workbench(meta.Dataset, meta.H)
+		if err != nil {
+			return total, fmt.Errorf("serve: recovering %s/h=%d: %w", meta.Dataset, meta.H, err)
+		}
+		n, err := s.recoverKey(benchKey{name: meta.Dataset, h: meta.H}, wb)
+		total += n
+		if err != nil {
+			return total, fmt.Errorf("serve: recovering %s/h=%d: %w", meta.Dataset, meta.H, err)
+		}
+	}
+	s.met.recoveryReplayed.Add(int64(total))
+	return total, nil
+}
+
+// recoverKey restores one engine: newest checkpoint, then ordered log
+// replay, then publish the open log for appends.
+func (s *Server) recoverKey(key benchKey, wb *eval.Workbench) (int, error) {
+	ws, records, err := s.openWALState(key)
+	if err != nil {
+		return 0, err
+	}
+	eng := wb.Engine()
+
+	ckPath, ckGen, ok, err := newestCheckpoint(ws.dir)
+	if err != nil {
+		ws.log.Close()
+		return 0, err
+	}
+	if ok && ckGen > eng.Generation() {
+		snap, err := dataset.Load(ckPath)
+		if err != nil {
+			ws.log.Close()
+			return 0, fmt.Errorf("loading checkpoint %s: %w", filepath.Base(ckPath), err)
+		}
+		snap.Graph.SetGeneration(ckGen)
+		if err := eng.Restore(snap.Graph, snap.Model); err != nil {
+			ws.log.Close()
+			return 0, err
+		}
+	}
+
+	applied := 0
+	for _, rec := range records {
+		if rec.Dataset != key.name || rec.H != key.h {
+			ws.log.Close()
+			return applied, fmt.Errorf("%w: record for %s/h=%d in log of %s/h=%d",
+				wal.ErrBadWAL, rec.Dataset, rec.H, key.name, key.h)
+		}
+		cur := eng.Generation()
+		if rec.Generation <= cur {
+			continue // covered by the checkpoint
+		}
+		if rec.Generation != cur+1 {
+			ws.log.Close()
+			return applied, fmt.Errorf("%w: replay gap: record generation %d after engine generation %d",
+				wal.ErrBadWAL, rec.Generation, cur)
+		}
+		res, err := eng.ApplyDelta(s.baseCtx, rec.Delta)
+		if err != nil {
+			ws.log.Close()
+			return applied, fmt.Errorf("replaying generation %d: %w", rec.Generation, err)
+		}
+		if res.Generation != rec.Generation {
+			ws.log.Close()
+			return applied, fmt.Errorf("%w: replay produced generation %d, log says %d",
+				wal.ErrBadWAL, res.Generation, rec.Generation)
+		}
+		applied++
+	}
+
+	// The log and engine must agree before appends resume; a divergence
+	// here means the engine was warm before recovery ran.
+	if ws.log.LastGeneration() != eng.Generation() {
+		if err := s.alignWAL(ws, wb, eng.Generation()); err != nil {
+			ws.log.Close()
+			return applied, err
+		}
+	}
+	s.storeWALState(key, ws)
+	return applied, nil
+}
+
+// closeWALs syncs and closes every open mutation log.
+func (s *Server) closeWALs() {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	for _, ws := range s.wals {
+		ws.log.Close()
+	}
+}
+
+// walStats sums the open logs' counters for /metrics.
+func (s *Server) walStats() wal.Stats {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	var total wal.Stats
+	for _, ws := range s.wals {
+		st := ws.log.Stats()
+		total.Appends += st.Appends
+		total.FsyncSeconds += st.FsyncSeconds
+		total.Records += st.Records
+		total.Segments += st.Segments
+		total.SizeBytes += st.SizeBytes
+	}
+	return total
+}

@@ -1,0 +1,724 @@
+// Package wal is an append-only, CRC-framed, segment-rotating
+// write-ahead log of graph mutations. rmserved appends each accepted
+// /v1/mutate delta here (fsynced per policy) before the generation
+// swap is acknowledged, so a crash can never silently rewind the
+// engine past a durably-acked mutation.
+//
+// # On-disk layout
+//
+// A log is a directory of segment files named
+//
+//	wal-<epoch>-<seq>.log
+//
+// (both fields zero-padded base-10, so lexicographic order is replay
+// order). Segments within one epoch form a single record stream; a
+// checkpoint truncation starts a fresh epoch and deletes the old one.
+// Every segment starts with a 36-byte header:
+//
+//	[8]  magic "RMWAL\x00\x00\x01"
+//	u32  format version (1)
+//	u64  epoch
+//	u64  seq
+//	u64  prevGen — generation of the last record before this segment
+//	     (the epoch's checkpoint base for seq 0)
+//
+// followed by frames:
+//
+//	u32  payload length
+//	u32  CRC-32C (Castagnoli) of the payload
+//	[..] payload — one encoded Record
+//
+// All integers are little-endian, matching the snapshot format.
+//
+// # Corruption and crash handling
+//
+// Replay distinguishes a torn tail from corruption, etcd-style: a bad
+// frame (short header, short payload, CRC mismatch) at the tail of the
+// LAST segment is the expected residue of a crash mid-append — the
+// file is truncated back to the last good frame and replay succeeds.
+// The same damage anywhere else — an interior segment, or followed by
+// more bytes — means the log is corrupt and Open fails with an error
+// wrapping ErrBadWAL; no prefix of a knowingly-damaged log is ever
+// replayed as if it were complete. Record generations must advance by
+// exactly one from the segment chain's prevGen; any gap or repeat is
+// likewise ErrBadWAL.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+// ErrBadWAL is the sentinel wrapped by every corruption error: a log
+// that cannot be replayed to a trustworthy state. A torn tail on the
+// final segment is NOT ErrBadWAL — it is repaired by truncation.
+var ErrBadWAL = errors.New("wal: corrupt write-ahead log")
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: a record is durable
+	// before Append returns. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever leaves flushing to the OS page cache. Appends survive
+	// process crashes but not machine crashes; for tests and
+	// benchmarks.
+	SyncNever
+)
+
+// Options configure a Log.
+type Options struct {
+	// Sync is the fsync policy for appends (default SyncAlways).
+	Sync SyncPolicy
+	// SegmentBytes rotates to a new segment file once the current one
+	// would exceed this size (default 4 MiB).
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// Record is one logged mutation: the delta that advanced the named
+// engine to Generation.
+type Record struct {
+	Dataset    string
+	H          int
+	Generation uint64
+	Delta      *graph.Delta
+}
+
+const (
+	headerSize     = 36
+	frameHdrSize   = 8
+	formatVersion  = 1
+	maxRecordBytes = 64 << 20
+	maxDatasetLen  = 1 << 12
+	maxH           = 1 << 20
+)
+
+var (
+	segMagic = [8]byte{'R', 'M', 'W', 'A', 'L', 0x00, 0x00, 0x01}
+	crcTable = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Stats is a point-in-time snapshot of a Log's counters, feeding the
+// rmserved_wal_* metrics.
+type Stats struct {
+	Appends        int64
+	FsyncSeconds   float64
+	Records        int64 // records in the current epoch
+	Segments       int   // segment files in the current epoch
+	SizeBytes      int64 // bytes across the current epoch's segments
+	BaseGeneration uint64
+	LastGeneration uint64
+}
+
+// Log is an open write-ahead log. Safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	f          *os.File // current tail segment, positioned at size
+	size       int64    // bytes in the tail segment
+	totalBytes int64    // bytes across the current epoch
+	epoch      uint64
+	seq        uint64
+	baseGen    uint64
+	lastGen    uint64
+	records    int64
+	appends    int64
+	fsyncNanos int64
+	broken     bool
+	closed     bool
+}
+
+// Open opens (creating if needed) the log in dir, repairs a torn tail,
+// and returns the surviving records in append order. Corruption that
+// truncation cannot repair returns an error wrapping ErrBadWAL.
+func Open(dir string, opts Options) (*Log, []Record, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+
+	byEpoch, maxEpoch, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(byEpoch) == 0 {
+		if err := l.startEpoch(0, 0); err != nil {
+			return nil, nil, err
+		}
+		return l, nil, nil
+	}
+
+	// Pick the newest epoch whose first segment header is complete. A
+	// shorter-than-header first segment is the residue of a crash
+	// mid-Truncate (the old epoch is still on disk underneath it);
+	// discard it and fall back.
+	epochs := make([]uint64, 0, len(byEpoch))
+	for ep := range byEpoch {
+		epochs = append(epochs, ep)
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+	chosen := -1
+	for i, ep := range epochs {
+		segs := byEpoch[ep]
+		if segs[0].seq != 0 {
+			return nil, nil, fmt.Errorf("%w: epoch %d starts at segment %d", ErrBadWAL, ep, segs[0].seq)
+		}
+		fi, err := os.Stat(segs[0].path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if fi.Size() < headerSize {
+			for _, s := range segs {
+				if err := os.Remove(s.path); err != nil {
+					return nil, nil, err
+				}
+			}
+			continue
+		}
+		chosen = i
+		break
+	}
+	if chosen == -1 {
+		// Every epoch was a torn creation: the log never held a
+		// durable record. Start over past the highest epoch seen.
+		if err := l.startEpoch(maxEpoch+1, 0); err != nil {
+			return nil, nil, err
+		}
+		return l, nil, nil
+	}
+	// Stale lower epochs (leftovers of an interrupted checkpoint
+	// truncation) lose to the chosen one.
+	for _, ep := range epochs[chosen+1:] {
+		for _, s := range byEpoch[ep] {
+			if err := os.Remove(s.path); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	recs, err := l.scanEpoch(byEpoch[epochs[chosen]])
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+type segFile struct {
+	path  string
+	epoch uint64
+	seq   uint64
+}
+
+func listSegments(dir string) (map[uint64][]segFile, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	byEpoch := map[uint64][]segFile{}
+	var maxEpoch uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		body := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+		epochStr, seqStr, ok := strings.Cut(body, "-")
+		if !ok {
+			continue
+		}
+		epoch, err1 := strconv.ParseUint(epochStr, 10, 64)
+		seq, err2 := strconv.ParseUint(seqStr, 10, 64)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		byEpoch[epoch] = append(byEpoch[epoch], segFile{path: filepath.Join(dir, name), epoch: epoch, seq: seq})
+		if epoch > maxEpoch {
+			maxEpoch = epoch
+		}
+	}
+	for _, segs := range byEpoch {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	}
+	return byEpoch, maxEpoch, nil
+}
+
+func segName(epoch, seq uint64) string {
+	return fmt.Sprintf("wal-%010d-%010d.log", epoch, seq)
+}
+
+// scanEpoch replays one epoch's segment chain, repairing the tail of
+// the final segment, and leaves the log open for append at the end.
+func (l *Log) scanEpoch(segs []segFile) ([]Record, error) {
+	var recs []Record
+	var gen uint64
+	haveGen := false
+	for i, s := range segs {
+		last := i == len(segs)-1
+		if s.seq != uint64(i) {
+			return nil, fmt.Errorf("%w: epoch %d missing segment %d", ErrBadWAL, s.epoch, i)
+		}
+		data, err := os.ReadFile(s.path)
+		if err != nil {
+			return nil, err
+		}
+		if len(data) < headerSize {
+			// A rotation that crashed after creating the file but
+			// before its header hit disk. Only tolerable at the tail.
+			if !last {
+				return nil, fmt.Errorf("%w: torn header on interior segment %s", ErrBadWAL, filepath.Base(s.path))
+			}
+			if err := os.Remove(s.path); err != nil {
+				return nil, err
+			}
+			segs = segs[:i]
+			break
+		}
+		prevGen, err := parseHeader(data, s.epoch, s.seq)
+		if err != nil {
+			return nil, err
+		}
+		if !haveGen {
+			gen = prevGen
+			l.baseGen = prevGen
+			haveGen = true
+		} else if prevGen != gen {
+			return nil, fmt.Errorf("%w: segment %s claims prev generation %d, chain is at %d",
+				ErrBadWAL, filepath.Base(s.path), prevGen, gen)
+		}
+
+		off := headerSize
+		goodOff := off
+		for off < len(data) {
+			rec, next, ferr := parseFrame(data, off)
+			if ferr != nil {
+				if !last {
+					return nil, fmt.Errorf("%w: %v in interior segment %s", ErrBadWAL, ferr, filepath.Base(s.path))
+				}
+				// Torn tail: drop the damaged suffix.
+				if err := os.Truncate(s.path, int64(goodOff)); err != nil {
+					return nil, err
+				}
+				break
+			}
+			if rec.Generation != gen+1 {
+				return nil, fmt.Errorf("%w: record generation %d after %d in %s",
+					ErrBadWAL, rec.Generation, gen, filepath.Base(s.path))
+			}
+			gen = rec.Generation
+			recs = append(recs, rec)
+			off = next
+			goodOff = next
+		}
+	}
+
+	tail := segs[len(segs)-1]
+	f, err := os.OpenFile(tail.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(fi.Size(), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.f = f
+	l.size = fi.Size()
+	l.epoch = tail.epoch
+	l.seq = tail.seq
+	l.lastGen = gen
+	l.records = int64(len(recs))
+	l.totalBytes = l.size
+	for _, s := range segs[:len(segs)-1] {
+		if fi, err := os.Stat(s.path); err == nil {
+			l.totalBytes += fi.Size()
+		}
+	}
+	return recs, nil
+}
+
+func parseHeader(data []byte, wantEpoch, wantSeq uint64) (prevGen uint64, err error) {
+	if [8]byte(data[:8]) != segMagic {
+		return 0, fmt.Errorf("%w: bad segment magic", ErrBadWAL)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != formatVersion {
+		return 0, fmt.Errorf("%w: unsupported format version %d", ErrBadWAL, v)
+	}
+	epoch := binary.LittleEndian.Uint64(data[12:])
+	seq := binary.LittleEndian.Uint64(data[20:])
+	if epoch != wantEpoch || seq != wantSeq {
+		return 0, fmt.Errorf("%w: header says epoch %d seq %d, file name says %d/%d",
+			ErrBadWAL, epoch, seq, wantEpoch, wantSeq)
+	}
+	return binary.LittleEndian.Uint64(data[28:]), nil
+}
+
+// parseFrame decodes the frame at data[off:]. Errors are raw (not
+// ErrBadWAL-wrapped) so the caller can decide torn-tail vs corrupt.
+func parseFrame(data []byte, off int) (Record, int, error) {
+	if len(data)-off < frameHdrSize {
+		return Record{}, 0, errors.New("short frame header")
+	}
+	n := binary.LittleEndian.Uint32(data[off:])
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n > maxRecordBytes {
+		return Record{}, 0, fmt.Errorf("frame length %d exceeds limit", n)
+	}
+	start := off + frameHdrSize
+	if len(data)-start < int(n) {
+		return Record{}, 0, errors.New("short frame payload")
+	}
+	payload := data[start : start+int(n)]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return Record{}, 0, errors.New("frame checksum mismatch")
+	}
+	rec, err := parseRecord(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, start + int(n), nil
+}
+
+func appendRecordPayload(buf []byte, r Record) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Dataset)))
+	buf = append(buf, r.Dataset...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.H))
+	buf = binary.LittleEndian.AppendUint64(buf, r.Generation)
+	return graph.EncodeDelta(buf, r.Delta)
+}
+
+func parseRecord(payload []byte) (Record, error) {
+	if len(payload) < 4 {
+		return Record{}, errors.New("record too short")
+	}
+	dsLen := binary.LittleEndian.Uint32(payload)
+	if dsLen > maxDatasetLen || len(payload) < 4+int(dsLen)+12 {
+		return Record{}, errors.New("bad dataset length")
+	}
+	r := Record{Dataset: string(payload[4 : 4+dsLen])}
+	off := 4 + int(dsLen)
+	h := binary.LittleEndian.Uint32(payload[off:])
+	if h > maxH {
+		return Record{}, errors.New("bad h value")
+	}
+	r.H = int(h)
+	r.Generation = binary.LittleEndian.Uint64(payload[off+4:])
+	d, n, err := graph.DecodeDelta(payload[off+12:])
+	if err != nil {
+		return Record{}, fmt.Errorf("bad delta: %v", err)
+	}
+	if off+12+n != len(payload) {
+		return Record{}, errors.New("trailing bytes after delta")
+	}
+	r.Delta = d
+	return r, nil
+}
+
+// startEpoch creates segment (epoch, 0) with prevGen as its base and
+// points the log at it.
+func (l *Log) startEpoch(epoch, prevGen uint64) error {
+	f, err := l.createSegment(epoch, 0, prevGen)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.size = headerSize
+	l.totalBytes = headerSize
+	l.epoch = epoch
+	l.seq = 0
+	l.baseGen = prevGen
+	l.lastGen = prevGen
+	l.records = 0
+	return nil
+}
+
+// createSegment writes a fresh segment file with a synced header and
+// makes its directory entry durable.
+func (l *Log) createSegment(epoch, seq, prevGen uint64) (*os.File, error) {
+	var hdr [headerSize]byte
+	copy(hdr[:8], segMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], epoch)
+	binary.LittleEndian.PutUint64(hdr[20:], seq)
+	binary.LittleEndian.PutUint64(hdr[28:], prevGen)
+
+	path := filepath.Join(l.dir, segName(epoch, seq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*os.File, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	if _, err := f.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
+		if err := syncDir(l.dir); err != nil {
+			return fail(err)
+		}
+	}
+	return f, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Append frames, writes, and (per policy) fsyncs one record. The
+// record is durable when Append returns nil. On any write or sync
+// failure the partial tail is truncated away before returning, so a
+// failed append leaves no residue for the next append — or the next
+// boot — to trip over; if even that repair fails the log wedges itself
+// and every later Append errors.
+//
+// Records must arrive in generation order: r.Generation must be
+// exactly LastGeneration()+1.
+func (l *Log) Append(r Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return errors.New("wal: log is closed")
+	case l.broken:
+		return errors.New("wal: log is wedged after a failed tail repair; restart to recover")
+	case r.Generation != l.lastGen+1:
+		return fmt.Errorf("wal: out-of-order append: generation %d after %d", r.Generation, l.lastGen)
+	case len(r.Dataset) > maxDatasetLen:
+		return fmt.Errorf("wal: dataset name longer than %d bytes", maxDatasetLen)
+	case r.H < 0 || r.H > maxH:
+		return fmt.Errorf("wal: h %d out of range", r.H)
+	}
+
+	payload := appendRecordPayload(make([]byte, 0, 64), r)
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, 0, frameHdrSize+len(payload))
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(payload)))
+	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload, crcTable))
+	frame = append(frame, payload...)
+
+	if l.size+int64(len(frame)) > l.opts.SegmentBytes && l.size > headerSize {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+
+	off := l.size
+	if err := faults.Inject("wal.append.write"); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		l.repairTail(off)
+		return err
+	}
+	l.size += int64(len(frame))
+	l.totalBytes += int64(len(frame))
+	if l.opts.Sync == SyncAlways {
+		if err := faults.Inject("wal.append.sync"); err != nil {
+			l.repairTail(off)
+			return err
+		}
+		start := time.Now()
+		err := l.f.Sync()
+		l.fsyncNanos += time.Since(start).Nanoseconds()
+		if err != nil {
+			l.repairTail(off)
+			return err
+		}
+	}
+	l.lastGen = r.Generation
+	l.records++
+	l.appends++
+	return nil
+}
+
+// repairTail removes a partial or non-durable append so the on-disk
+// stream ends at the last acknowledged record.
+func (l *Log) repairTail(off int64) {
+	if err := l.f.Truncate(off); err != nil {
+		l.broken = true
+		return
+	}
+	if _, err := l.f.Seek(off, io.SeekStart); err != nil {
+		l.broken = true
+		return
+	}
+	l.totalBytes -= l.size - off
+	l.size = off
+}
+
+// rotate seals the current segment and opens the next one in the same
+// epoch. Called with l.mu held.
+func (l *Log) rotate() error {
+	if err := faults.Inject("wal.rotate"); err != nil {
+		return err
+	}
+	if l.opts.Sync == SyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	nf, err := l.createSegment(l.epoch, l.seq+1, l.lastGen)
+	if err != nil {
+		return err // old segment still open; the log stays usable
+	}
+	l.f.Close()
+	l.f = nf
+	l.seq++
+	l.size = headerSize
+	l.totalBytes += headerSize
+	return nil
+}
+
+// Truncate starts a fresh epoch based at gen and deletes every older
+// segment. The caller must have made gen durable elsewhere first (a
+// checkpoint snapshot): records at or below gen vanish from the log.
+// gen must be at least LastGeneration() — truncating away records that
+// are not checkpoint-covered is refused.
+func (l *Log) Truncate(gen uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case l.closed:
+		return errors.New("wal: log is closed")
+	case l.broken:
+		return errors.New("wal: log is wedged after a failed tail repair; restart to recover")
+	case gen < l.lastGen:
+		return fmt.Errorf("wal: refusing to truncate to generation %d below last record %d", gen, l.lastGen)
+	}
+	if err := faults.Inject("wal.truncate"); err != nil {
+		return err
+	}
+	nf, err := l.createSegment(l.epoch+1, 0, gen)
+	if err != nil {
+		return err // old epoch intact; the log stays usable
+	}
+	old := l.f
+	l.f = nf
+	l.epoch++
+	l.seq = 0
+	l.size = headerSize
+	l.totalBytes = headerSize
+	l.baseGen = gen
+	l.lastGen = gen
+	l.records = 0
+	old.Close()
+
+	byEpoch, _, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for ep, segs := range byEpoch {
+		if ep == l.epoch {
+			continue
+		}
+		for _, s := range segs {
+			if err := os.Remove(s.path); err != nil {
+				return err
+			}
+		}
+	}
+	if l.opts.Sync == SyncAlways {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// BaseGeneration returns the generation the current epoch starts from
+// (its checkpoint base).
+func (l *Log) BaseGeneration() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.baseGen
+}
+
+// LastGeneration returns the generation of the newest durable record,
+// or the epoch base when the log is empty.
+func (l *Log) LastGeneration() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastGen
+}
+
+// Stats returns the log's counters for metrics export.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:        l.appends,
+		FsyncSeconds:   float64(l.fsyncNanos) / 1e9,
+		Records:        l.records,
+		Segments:       int(l.seq) + 1,
+		SizeBytes:      l.totalBytes,
+		BaseGeneration: l.baseGen,
+		LastGeneration: l.lastGen,
+	}
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the tail segment. The log rejects appends
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.opts.Sync == SyncAlways && !l.broken {
+		err = l.f.Sync()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

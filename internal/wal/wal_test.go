@@ -1,0 +1,349 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/graph"
+)
+
+func rec(gen uint64) Record {
+	return Record{
+		Dataset:    "flixster",
+		H:          4,
+		Generation: gen,
+		Delta: &graph.Delta{
+			AddEdges: []graph.Edge{{U: int32(gen), V: int32(gen + 1)}},
+			SetProbs: []graph.ProbUpdate{{U: 0, V: 1, Topic: 0, P: 0.5}},
+		},
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := []Record{rec(1), rec(2), rec(3)}
+	for _, r := range want {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append gen %d: %v", r.Generation, err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != 3 || st.Records != 3 || st.LastGeneration != 3 || st.BaseGeneration != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	l2, got := mustOpen(t, dir, Options{})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if l2.LastGeneration() != 3 {
+		t.Fatalf("replayed lastGen = %d", l2.LastGeneration())
+	}
+	// The reopened log keeps accepting contiguous appends.
+	if err := l2.Append(rec(4)); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+}
+
+func TestOutOfOrderAppendRejected(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{})
+	if err := l.Append(rec(2)); err == nil {
+		t.Fatal("gap append accepted")
+	}
+	if err := l.Append(rec(1)); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if err := l.Append(rec(1)); err == nil {
+		t.Fatal("duplicate generation accepted")
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 200, Sync: SyncNever})
+	var want []Record
+	for g := uint64(1); g <= 20; g++ {
+		r := rec(g)
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append %d: %v", g, err)
+		}
+		want = append(want, r)
+	}
+	if st := l.Stats(); st.Segments < 2 {
+		t.Fatalf("expected rotation, stats %+v", st)
+	}
+	l.Close()
+
+	_, got := mustOpen(t, dir, Options{SegmentBytes: 200})
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("multi-segment replay mismatch: got %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for g := uint64(1); g <= 3; g++ {
+		if err := l.Append(rec(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	path := filepath.Join(dir, segName(0, 0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way through the final record: a torn append.
+	torn := data[:len(data)-5]
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 2 || l2.LastGeneration() != 2 {
+		t.Fatalf("after torn tail: %d records, lastGen %d", len(recs), l2.LastGeneration())
+	}
+	// The damaged suffix is gone from disk and appends continue at 3.
+	if err := l2.Append(rec(3)); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+	l2.Close()
+	_, recs = mustOpen(t, dir, Options{})
+	if len(recs) != 3 {
+		t.Fatalf("after repair+append: %d records", len(recs))
+	}
+}
+
+func TestGarbageTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if err := l.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	path := filepath.Join(dir, segName(0, 0))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 1, 2, 3})
+	f.Close()
+
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 1 {
+		t.Fatalf("garbage tail: %d records", len(recs))
+	}
+}
+
+func TestInteriorCorruptionIsErrBadWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{SegmentBytes: 200, Sync: SyncNever})
+	for g := uint64(1); g <= 20; g++ {
+		if err := l.Append(rec(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Flip a byte inside the FIRST segment's record area: damage that
+	// truncation must not paper over.
+	path := filepath.Join(dir, segName(0, 0))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Open(dir, Options{})
+	if !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("interior corruption: want ErrBadWAL, got %v", err)
+	}
+}
+
+func TestBadMagicIsErrBadWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	l.Append(rec(1))
+	l.Close()
+
+	path := filepath.Join(dir, segName(0, 0))
+	data, _ := os.ReadFile(path)
+	data[0] = 'X'
+	os.WriteFile(path, data, 0o644)
+	_, _, err := Open(dir, Options{})
+	if !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("bad magic: want ErrBadWAL, got %v", err)
+	}
+}
+
+func TestTruncateStartsNewEpoch(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for g := uint64(1); g <= 3; g++ {
+		if err := l.Append(rec(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(2); err == nil {
+		t.Fatal("truncate below last record accepted")
+	}
+	if err := l.Truncate(3); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if l.BaseGeneration() != 3 || l.LastGeneration() != 3 {
+		t.Fatalf("after truncate: base %d last %d", l.BaseGeneration(), l.LastGeneration())
+	}
+	// Appends continue from the checkpoint base.
+	if err := l.Append(rec(4)); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	l.Close()
+
+	l2, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 1 || recs[0].Generation != 4 {
+		t.Fatalf("replay after truncate: %+v", recs)
+	}
+	if l2.BaseGeneration() != 3 {
+		t.Fatalf("replayed base generation %d", l2.BaseGeneration())
+	}
+	// Old-epoch files are gone.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal-0000000000-") {
+			t.Fatalf("old epoch file survived: %s", e.Name())
+		}
+	}
+}
+
+// TestTruncateAlignsEmptyLogForward covers recovery alignment: a fresh
+// log can be fast-forwarded to a checkpoint generation it never saw.
+func TestTruncateAlignsEmptyLogForward(t *testing.T) {
+	l, _ := mustOpen(t, t.TempDir(), Options{})
+	if err := l.Truncate(7); err != nil {
+		t.Fatalf("forward truncate: %v", err)
+	}
+	if err := l.Append(rec(8)); err != nil {
+		t.Fatalf("append after alignment: %v", err)
+	}
+}
+
+func TestAppendFailureLeavesCleanTail(t *testing.T) {
+	defer faults.Reset()
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	if err := l.Append(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Set("wal.append.sync", "error")
+	err := l.Append(rec(2))
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if l.LastGeneration() != 1 {
+		t.Fatalf("failed append advanced lastGen to %d", l.LastGeneration())
+	}
+	faults.Reset()
+
+	// Retry with the SAME generation: the failed record left no
+	// residue, so this must succeed and replay cleanly.
+	if err := l.Append(rec(2)); err != nil {
+		t.Fatalf("retry append: %v", err)
+	}
+	l.Close()
+	_, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 2 || recs[1].Generation != 2 {
+		t.Fatalf("replay after failed append: %+v", recs)
+	}
+}
+
+func TestWriteFailpointBlocksAppend(t *testing.T) {
+	defer faults.Reset()
+	l, _ := mustOpen(t, t.TempDir(), Options{})
+	faults.Set("wal.append.write", "error")
+	if err := l.Append(rec(1)); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	faults.Reset()
+	if err := l.Append(rec(1)); err != nil {
+		t.Fatalf("append after clearing failpoint: %v", err)
+	}
+}
+
+func TestTornEpochCreationFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	for g := uint64(1); g <= 2; g++ {
+		if err := l.Append(rec(g)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Simulate a crash mid-Truncate: the new epoch's first segment
+	// exists but its header never hit disk.
+	if err := os.WriteFile(filepath.Join(dir, segName(1, 0)), []byte{'R', 'M'}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, recs := mustOpen(t, dir, Options{})
+	if len(recs) != 2 {
+		t.Fatalf("fallback replay: %d records", len(recs))
+	}
+	if l2.LastGeneration() != 2 {
+		t.Fatalf("fallback lastGen %d", l2.LastGeneration())
+	}
+	if _, err := os.Stat(filepath.Join(dir, segName(1, 0))); !os.IsNotExist(err) {
+		t.Fatalf("torn epoch file not removed: %v", err)
+	}
+}
+
+func TestRecordGenerationGapIsErrBadWAL(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, dir, Options{})
+	l.Append(rec(1))
+	l.Close()
+
+	// Hand-corrupt the record's generation field (and re-CRC it) to
+	// fake a gap: a "valid" frame whose content lies about ordering.
+	path := filepath.Join(dir, segName(0, 0))
+	data, _ := os.ReadFile(path)
+	payload := data[headerSize+frameHdrSize:]
+	dsLen := binary.LittleEndian.Uint32(payload)
+	binary.LittleEndian.PutUint64(payload[4+dsLen+4:], 9) // generation 9 after base 0
+	binary.LittleEndian.PutUint32(data[headerSize+4:], crc32.Checksum(payload, crcTable))
+	os.WriteFile(path, data, 0o644)
+
+	_, _, err := Open(dir, Options{})
+	if !errors.Is(err, ErrBadWAL) {
+		t.Fatalf("generation gap: want ErrBadWAL, got %v", err)
+	}
+}
